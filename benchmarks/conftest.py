@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every bench runs its experiment once via ``benchmark.pedantic`` (these
+are full scenario replays, not microbenchmarks) and then asserts the
+*shape* of the result — who wins, by roughly what factor — per
+EXPERIMENTS.md.  Absolute numbers come from the simulator's cost
+models and are expected to differ from any physical testbed.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(run_fn, **kwargs):
+        return benchmark.pedantic(run_fn, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return _run

@@ -1,0 +1,41 @@
+"""Ablation benches — the DESIGN.md §4 design-choice knobs."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_reuse(run_once):
+    result = run_once(ablations.reuse_ablation)
+    assert result.metric("containers_reuse") < result.metric(
+        "containers_fresh"
+    )
+
+
+def test_bench_ablation_placement(run_once):
+    """Greedy stretch-minimising placement vs first-fit (which can
+    land the whole chain on a far-away host)."""
+    result = run_once(ablations.placement_ablation)
+    assert result.metric("greedy_stretch") < result.metric(
+        "first_fit_stretch"
+    )
+    assert result.metric("greedy_stretch") < 1.5
+
+
+def test_bench_ablation_audit_budget(run_once):
+    """More probes per round -> better detection of a stealthy shaper."""
+    result = run_once(ablations.audit_budget_ablation, seed=0)
+    assert result.metric("detection_rate_probes_5") >= result.metric(
+        "detection_rate_probes_1"
+    )
+    # Even one probe pair catches the 50% shaper sometimes; five pairs
+    # catch it in the clear majority of rounds.
+    assert result.metric("detection_rate_probes_1") > 0.2
+    assert result.metric("detection_rate_probes_5") > 0.5
+
+
+def test_bench_ablation_wait_for_better(run_once):
+    """Waiting past the cheap provider's appearance cuts the price."""
+    result = run_once(ablations.wait_for_better_ablation)
+    early = result.metric("price_deadline_5")
+    late = result.metric("price_deadline_15")
+    assert late < early
+    assert result.metric("price_deadline_30") == late

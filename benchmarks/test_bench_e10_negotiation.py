@@ -1,0 +1,22 @@
+"""E10 bench — §3.1/§3.3 negotiation across provider zones."""
+
+from repro.experiments import exp10_negotiation
+
+
+def test_bench_e10_negotiation(run_once):
+    result = run_once(exp10_negotiation.run, seed=0)
+    # Full zone: every price-paying strategy succeeds at full coverage.
+    for strategy in ("accept_first", "best_of_zone", "subset_retry"):
+        assert result.metric(f"accepted_full_{strategy}") == 1.0
+    # Partial zone: the device compromises (required kept, price low).
+    assert result.metric("accepted_partial_best_of_zone") == 1.0
+    assert result.metric("price_partial_best_of_zone") < result.metric(
+        "price_full_best_of_zone"
+    )
+    # In a mixed zone, shopping around beats taking the first offer.
+    assert result.metric("mixed_best_beats_first") == 1.0
+    # No PVN support anywhere: every strategy walks away.
+    for strategy in ("accept_first", "best_of_zone", "free_only"):
+        assert result.metric(f"accepted_no_pvn_{strategy}") == 0.0
+    # Subset retry costs an extra round when it fires.
+    assert result.metric("rounds_partial_subset_retry") == 2.0

@@ -1,0 +1,17 @@
+"""E1 bench — §3.3 scalability and overhead (30 ms / 45 µs / 6 MB)."""
+
+from repro.experiments import exp1_scalability
+
+
+def test_bench_e1_scalability(run_once):
+    result = run_once(exp1_scalability.run, seed=0)
+    # The paper's cited constants surface unchanged.
+    assert result.metric("instantiation_ms") == 30.0
+    assert result.metric("per_user_memory_mb") == 36.0  # 6 modules x 6 MB
+    # "Negligible relative to non-PVN connections": <1% of a 30ms RTT.
+    assert result.metric("overhead_fraction_of_rtt") < 0.01
+    # Scaling: everything admitted until the memory wall, then a cap.
+    assert result.metric("admitted_at_100") == 100
+    cap = result.metric("max_subscribers")
+    assert result.metric("admitted_at_2000") == cap
+    assert 300 < cap < 500  # 2 hosts x 8GB / 36MB per subscriber

@@ -1,0 +1,21 @@
+"""E2 bench — §3.2 in-network PVN vs cloud/home tunneling."""
+
+from repro.experiments import exp2_deployment_modes
+
+
+def test_bench_e2_deployment_modes(run_once):
+    result = run_once(exp2_deployment_modes.run, seed=0)
+    # The in-network PVN is indistinguishable from direct (<2%).
+    assert result.metric("pvn_vs_direct_well") < 1.02
+    # Tunnels hurt, ordered home > cloud > direct on both access types.
+    assert result.metric("plt_well_vpn_cloud") > 1.2 * result.metric(
+        "plt_well_direct"
+    )
+    assert result.metric("plt_well_vpn_home") > result.metric(
+        "plt_well_vpn_cloud"
+    )
+    # The poorly-connected penalty explodes (the "100s of ms" case).
+    assert result.metric("cloud_vs_direct_poor") > 3.0
+    assert result.metric("plt_poorly_vpn_cloud") > result.metric(
+        "plt_well_vpn_cloud"
+    )

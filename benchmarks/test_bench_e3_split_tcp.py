@@ -1,0 +1,18 @@
+"""E3 bench — §2.2 split-TCP wins and the mixed-results crossover."""
+
+from repro.experiments import exp3_split_tcp
+
+
+def test_bench_e3_split_tcp(run_once):
+    result = run_once(exp3_split_tcp.run, seed=0)
+    # Bulk transfers: splitting wins, and the win grows with loss.
+    assert result.metric("speedup_bulk_loss_0.001") > 1.2
+    assert result.metric("speedup_bulk_loss_0.01") > 2.0
+    assert (result.metric("speedup_bulk_loss_0.05")
+            > result.metric("speedup_bulk_loss_0.001"))
+    # The Xu et al. caveat: a cold proxy on a clean path for a small
+    # object is a net loss — direct wins somewhere in the sweep.
+    assert result.metric("small_clean_crossover") == 1.0
+    assert result.metric("speedup_small-cold_loss_0.0001") < 1.0
+    # But even the cold proxy wins once the last mile is lossy enough.
+    assert result.metric("speedup_small-cold_loss_0.05") > 1.0

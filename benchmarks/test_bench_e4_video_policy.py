@@ -1,0 +1,18 @@
+"""E4 bench — §2.2 Binge On blanket throttle vs PVN per-flow policy."""
+
+from repro.experiments import exp4_video_policy
+
+
+def test_bench_e4_video_policy(run_once):
+    result = run_once(exp4_video_policy.run, seed=0)
+    # The 1.5 Mbps shaper holds (token bucket verified, ±5%).
+    assert 1.4 < result.metric("shaped_rate_mbps") < 1.6
+    # Binge On: zero quota but no HD at all (the paper's sub-HD claim).
+    assert result.metric("binge_on_is_sub_hd") == 1.0
+    assert result.metric("quota_mb_binge_on") == 0.0
+    # No policy: all HD, all billed.
+    assert result.metric("hd_flows_no") == 2
+    assert result.metric("quota_mb_no") > 0
+    # PVN per-flow: HD where the user wants it, quota below no-policy.
+    assert result.metric("hd_flows_pvn") == 1
+    assert 0 < result.metric("quota_mb_pvn") < result.metric("quota_mb_no")

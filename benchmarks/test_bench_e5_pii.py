@@ -1,0 +1,25 @@
+"""E5 bench — §2.3/§4 PII enforcement: privacy without the costs."""
+
+from repro.experiments import exp5_pii
+
+
+def test_bench_e5_pii(run_once):
+    result = run_once(exp5_pii.run, seed=0)
+    # All three enforcement points catch every leaking request...
+    assert result.metric("detection_pvn") == 1.0
+    assert result.metric("detection_on_device") == 1.0
+    assert result.metric("detection_cloud") == 1.0
+    assert result.metric("detection_none") == 0.0
+    # ...and fully deny the eavesdropper, unlike no enforcement.
+    assert result.metric("leaked_values_none") > 0
+    assert result.metric("leaked_values_pvn") == 0
+    # The PVN's advantage: no device CPU energy, no tunnel latency.
+    assert result.metric("energy_j_on_device") > 2 * result.metric(
+        "energy_j_pvn"
+    )
+    assert result.metric("latency_ms_cloud") > 100 * result.metric(
+        "latency_ms_pvn"
+    )
+    assert result.metric("latency_ms_on_device") > result.metric(
+        "latency_ms_pvn"
+    )

@@ -1,0 +1,15 @@
+"""E6 bench — §4 TLS: the PVN validator stops what careless apps let in."""
+
+from repro.experiments import exp6_tls
+
+
+def test_bench_e6_tls(run_once):
+    result = run_once(exp6_tls.run, seed=0)
+    # Without the PVN, attacks land on validation-skipping apps.
+    assert result.metric("compromised_none") > 0.4 * result.metric(
+        "attacks_none"
+    )
+    # With the PVN every attacked handshake is blocked in-network.
+    assert result.metric("compromised_pvn") == 0
+    assert result.metric("blocked_pvn") == result.metric("attacks_pvn")
+    assert result.metric("mitm_caught_by_pvn") == 1.0

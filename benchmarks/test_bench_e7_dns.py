@@ -1,0 +1,14 @@
+"""E7 bench — §4 DNS validation against a forging ISP resolver."""
+
+from repro.experiments import exp7_dns
+
+
+def test_bench_e7_dns(run_once):
+    result = run_once(exp7_dns.run, seed=0)
+    # Without the PVN, every lookup of a forged name is poisoned.
+    assert result.metric("poisoned_none") > 100
+    # With the PVN, no poisoned mapping survives; forgeries are
+    # corrected (substituted with the validated answer).
+    assert result.metric("poisoned_pvn") == 0
+    assert result.metric("corrected_pvn") > 0
+    assert result.metric("forged_names") > 0

@@ -1,0 +1,25 @@
+"""E8 bench — §4 offloading: the prefetch middle ground."""
+
+from repro.experiments import exp8_prefetch
+
+
+def test_bench_e8_prefetch(run_once):
+    result = run_once(exp8_prefetch.run, seed=0)
+    # Latency ordering: on-device < pvn < none.
+    assert (result.metric("latency_ms_on_device")
+            < result.metric("latency_ms_pvn")
+            < result.metric("latency_ms_none"))
+    # The PVN prefetcher costs the device nothing extra over no
+    # prefetching at all...
+    assert result.metric("device_mb_pvn") == result.metric("device_mb_none")
+    assert result.metric("energy_j_pvn") == result.metric("energy_j_none")
+    # ...while on-device prefetch pays for speculative bytes.
+    assert result.metric("device_mb_on_device") > result.metric(
+        "device_mb_pvn"
+    )
+    # And the PVN still recovers most of the latency win.
+    saved_by_device = (result.metric("latency_ms_none")
+                       - result.metric("latency_ms_on_device"))
+    saved_by_pvn = (result.metric("latency_ms_none")
+                    - result.metric("latency_ms_pvn"))
+    assert saved_by_pvn > 0.5 * saved_by_device

@@ -1,0 +1,16 @@
+"""E9 bench — §3.1/§3.3 auditing: every cheater caught, honest clean."""
+
+from repro.experiments import exp9_auditing
+
+
+def test_bench_e9_auditing(run_once):
+    result = run_once(exp9_auditing.run, seed=0)
+    # Zero false positives against the honest provider.
+    assert result.metric("false_positive_rate_honest") == 0.0
+    # Every dishonest profile is caught by at least one mechanism.
+    assert result.metric("all_cheaters_caught") == 1.0
+    # Single-axis cheaters are flagged in every audit round.
+    for profile in ("shaping", "injecting", "lazy", "inflating"):
+        assert result.metric(f"detection_rate_{profile}") == 1.0
+    # The egregious multi-axis cheater is blacklisted within 3 rounds.
+    assert result.metric("blacklist_rounds_egregious") <= 3

@@ -1,0 +1,42 @@
+"""Benches for the paper's single figure: F1A, F1B, F1C (Fig. 1 a/b/c)."""
+
+from repro.experiments import fig1a, fig1b, fig1c
+
+
+def test_bench_fig1a_interposition(run_once):
+    """Fig. 1(a): every class traverses exactly its configured chain."""
+    result = run_once(fig1a.run, seed=0)
+    assert result.metric("correct_fraction") == 1.0
+    # Chain delay stays in the microsecond regime (3 hops x 45us).
+    assert result.metric("chain_delay_us") < 200
+
+
+def test_bench_fig1b_reuse(run_once):
+    """Fig. 1(b): reusing the provider's physical TCP proxy saves a
+    container (and its 6 MB / 30 ms costs)."""
+    result = run_once(fig1b.run, seed=0)
+    assert result.metric("containers_saved") >= 1
+    assert result.metric("memory_saved_mb") >= 6
+    assert result.metric("fresh_containers_with_reuse") < result.metric(
+        "fresh_containers_without_reuse"
+    )
+    # Both embeddings stay close to the direct path.
+    assert result.metric("stretch_with_reuse") < 1.5
+    assert result.metric("stretch_without_reuse") < 1.5
+
+
+def test_bench_fig1c_selective_redirection(run_once):
+    """Fig. 1(c): the selective penalty scales with the fraction of
+    traffic needing trusted execution; full tunneling pays the detour
+    on everything."""
+    result = run_once(fig1c.run, seed=0)
+    full = result.metric("full_tunnel_penalty_ms")
+    assert result.metric("selective_penalty_ms_at_0") == 0.0
+    # ~10% needy -> ~10% of the full-tunnel penalty (±5 points of share).
+    at10 = result.metric("selective_penalty_ms_at_10")
+    assert 0.05 * full < at10 < 0.20 * full
+    # Monotone in the needy fraction, converging to the full tunnel.
+    penalties = [result.metric(f"selective_penalty_ms_at_{f}")
+                 for f in (0, 5, 10, 25, 50, 100)]
+    assert penalties == sorted(penalties)
+    assert abs(penalties[-1] - full) < 1e-6

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Privacy guard: leaky apps, IoT sensors, trackers, and the PVN Store.
+
+The §2.3 scenario end to end: the user's apps leak PII to analytics
+hosts, an IoT camera uploads location in the clear, and trackers follow
+every page view.  The PVN deploys a scrubbing PII detector, a
+store-bought tracker blocker, and — for encrypted flows it cannot
+inspect in the access network — selective tunneling to a trusted
+enclave (Fig. 1(c)).  An eavesdropper past the PVN shows what actually
+escaped.
+
+    python examples/privacy_guard.py
+"""
+
+import numpy as np
+
+from repro.core.store import PvnStore, SigningKey
+from repro.middleboxes import PiiDetector, TrackerBlocker
+from repro.netproto.http import HttpRequest
+from repro.netsim import Packet
+from repro.nfv import (
+    Capability,
+    ChainHop,
+    Container,
+    ProcessingContext,
+    Sandbox,
+    ServiceChain,
+)
+from repro.workloads import Eavesdropper, IotSensor, LeakyApp, synth_user
+
+
+def build_store() -> PvnStore:
+    """A PVN Store with a third-party tracker blocker published in it."""
+    store = PvnStore(SigningKey("pvn-store", b"store-root-key"))
+    acme = SigningKey("acme-privacy", b"acme-key")
+    store.register_developer(acme)
+    store.publish(
+        "acme_tracker_blocker", "2.1", acme,
+        factory=lambda: TrackerBlocker(name="acme_tracker_blocker"),
+        price=0.99,
+        description="Blocks 4 tracker networks; updated weekly.",
+        capabilities=Capability.OBSERVE | Capability.BLOCK,
+    )
+    return store
+
+
+def build_chain(store: PvnStore) -> ServiceChain:
+    """The privacy chain: store blocker -> PII scrubber."""
+    factory, capabilities, price = store.install("acme_tracker_blocker",
+                                                 budget=5.0)
+    print(f"installed acme_tracker_blocker from the PVN Store "
+          f"(price {price}, signatures verified)")
+
+    def running(middlebox, caps):
+        container = Container(middlebox, owner="alice")
+        container.start_immediately(now=0.0)
+        return ChainHop(container,
+                        Sandbox(middlebox, owner="alice", capabilities=caps))
+
+    blocker = factory()
+    scrubber = PiiDetector(mode="scrub", tunnel_encrypted_to="enclave")
+    return ServiceChain("privacy", [
+        running(blocker, capabilities),
+        running(scrubber, Capability.all()),
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    user = synth_user(rng, "alice")
+    store = build_store()
+    chain = build_chain(store)
+    eve = Eavesdropper("isp-upstream")
+
+    leaky_app = LeakyApp(user)
+    camera = IotSensor("doorcam", owner="alice")
+
+    tracked = blocked = scrubbed = tunneled = 0
+    traffic = []
+    for _ in range(30):
+        traffic.append(leaky_app.telemetry_packet(rng))
+    for _ in range(10):
+        traffic.append(camera.reading_packet(rng))
+    for i in range(10):
+        traffic.append(Packet(
+            src="10.10.0.2", dst="203.0.113.99", dst_port=80, owner="alice",
+            payload=HttpRequest("GET", "pixel.ads.example", f"/t?page={i}"),
+        ))
+    for i in range(5):  # encrypted banking flows: uninspectable here
+        packet = Packet(
+            src="10.10.0.2", dst="198.51.100.5", dst_port=443, owner="alice",
+            payload=HttpRequest("POST", "bank.example.com",
+                                body=b"acct=check", https=True),
+        )
+        traffic.append(packet)
+
+    context = ProcessingContext(now=0.0, owner="alice")
+    for packet in traffic:
+        result = chain.process(packet, context)
+        if result.terminal_kind.value == "drop":
+            blocked += 1
+            continue
+        if result.terminal_kind.value == "tunnel":
+            tunneled += 1
+            continue
+        eve.observe(packet)  # whatever survives reaches the wide area
+
+    scrubber = chain.hops[1].container.middlebox
+    print(f"\ntraffic: {len(traffic)} packets "
+          f"(30 leaky app, 10 IoT, 10 tracker, 5 encrypted)")
+    print(f"  blocked at tracker/analytics hosts: {blocked}")
+    print(f"  scrubbed leaks: {scrubber.leaks_scrubbed}")
+    print(f"  tunneled to enclave (encrypted, Fig. 1c): {tunneled}")
+
+    print("\nwhat the eavesdropper saw of the user's PII:")
+    for pii_type, value in user.pii_values().items():
+        exposed = eve.saw(value)
+        print(f"  {pii_type:10s}: {'EXPOSED' if exposed else 'protected'}")
+    assert not any(eve.saw(v) for v in user.pii_values().values())
+    print("\nall PII protected; "
+          f"store revenue: {store.revenue}, chain added delay: "
+          f"{chain.per_packet_delay * 1e6:.0f}us/packet")
+
+
+if __name__ == "__main__":
+    main()

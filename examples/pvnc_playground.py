@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""PVNC playground: author, validate, compile, and price a config.
+
+Shows the §3.1 toolchain in isolation: the user-readable DSL, the
+validator's error reporting, the compiled deployment program, and what
+two different providers would quote for it.
+
+    python examples/pvnc_playground.py
+"""
+
+from repro.core.discovery import DiscoveryClient, DiscoveryService, PricingPolicy
+from repro.core.discovery.messages import DeploymentAck
+from repro.core.pvnc import compile_pvnc, parse_pvnc, render_pvnc
+from repro.errors import ConfigurationError
+from repro.units import format_size, format_time
+
+MY_PVNC = '''
+# Everything a privacy-focused commuter wants.
+pvnc "commuter" for bob
+module tls_validator mode=block
+module tracker_blocker
+module pii_detector mode=block
+module compressor
+module tcp_proxy reuse=yes
+
+class https: tls_validator -> forward
+class web_text: tracker_blocker -> pii_detector -> compressor -> forward
+class video_image: tcp_proxy -> forward
+default: forward
+
+require tls_validator pii_detector
+prefer compressor
+budget 4.0
+max-latency 1 ms
+'''
+
+BROKEN_PVNC = '''
+pvnc "oops" for bob
+module tls_validator
+class https: tls_validator -> quantum_firewall -> forward
+require transcoder
+'''
+
+
+def main() -> None:
+    print("=== Parsing and compiling a valid PVNC ===")
+    pvnc = parse_pvnc(MY_PVNC)
+    compiled = compile_pvnc(pvnc)
+    print(f"name: {pvnc.name} (user {pvnc.user})")
+    print(f"digest: {pvnc.digest().hex()[:16]}…")
+    print(f"services deployed: {', '.join(compiled.deployment_services)}")
+    print(f"estimated: {compiled.estimate.containers} containers, "
+          f"{format_size(compiled.estimate.memory_bytes)}, "
+          f"worst-case chain delay {format_time(compiled.per_packet_delay)}")
+    print("per-class chains:")
+    for traffic_class, pipeline in compiled.chain_layout:
+        chain = " -> ".join(pipeline) or "(direct)"
+        print(f"  {traffic_class:12s} {chain} "
+              f"-> {compiled.terminal_for(traffic_class)}")
+
+    print("\n=== Round-tripping through the DSL ===")
+    again = parse_pvnc(render_pvnc(pvnc))
+    print(f"render -> parse preserves the digest: "
+          f"{again.digest() == pvnc.digest()}")
+
+    print("\n=== The validator catching a broken config ===")
+    try:
+        parse_pvnc(BROKEN_PVNC)
+    except ConfigurationError as exc:
+        print(f"rejected: {exc}")
+
+    print("\n=== What two providers would quote ===")
+    client = DiscoveryClient("bob:mac")
+    for name, multiplier in (("isp-budget", 1.0), ("isp-premium", 2.5)):
+        service = DiscoveryService(
+            provider=name,
+            supported_services=compiled.deployment_services,
+            pricing=PricingPolicy(load_multiplier=multiplier),
+            deploy=lambda request: DeploymentAck("bob/x", "10.200.5.0/24"),
+        )
+        offer = service.handle_dm(
+            client.make_dm(pvnc, compiled.estimate), now=0.0
+        )
+        quote = ", ".join(f"{svc}={price}" for svc, price in offer.prices
+                          if price > 0)
+        print(f"  {name}: total {offer.total_price:.2f}  ({quote})")
+        affordable = offer.total_price <= pvnc.constraints.max_price
+        print(f"    within the {pvnc.constraints.max_price} budget: "
+              f"{affordable}")
+
+
+if __name__ == "__main__":
+    main()

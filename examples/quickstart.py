@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up a PVN, push traffic through it, audit it.
+
+Runs the full lifecycle of the paper's §3.1 in ~30 lines of user code:
+DHCP attach with PVN discovery, negotiation, deployment, the Fig. 1(a)
+data path, and the trust-but-verify audit loop.
+
+    python examples/quickstart.py
+"""
+
+from repro import PvnSession, default_pvnc
+from repro.netproto import CertificateAuthority, MitmInterceptor
+from repro.netproto.http import HttpRequest
+from repro.netsim import Packet
+
+
+def main() -> None:
+    # 1. Build the world: one PVN-supporting access network, one device.
+    session = PvnSession.build(seed=42)
+
+    # 2. Connect with the canonical Fig. 1(a) configuration.
+    pvnc = default_pvnc()
+    outcome = session.connect(pvnc)
+    connection = session.device.connection
+    print(f"deployed: {outcome.deployed} ({outcome.deployment_id})")
+    print(f"  services: {', '.join(connection.services)}")
+    print(f"  price paid: {connection.price_paid}")
+    print(f"  PVN address: {connection.device_ip}")
+    print(f"  attestation verified: {connection.attestation_verified}")
+
+    # 3. A leaky HTTP request gets scrubbed in-network.
+    leaky = Packet(
+        src=connection.device_ip, dst="198.51.100.9", dst_port=80,
+        owner="alice",
+        payload=HttpRequest("POST", "analytics.example",
+                            body=b"event=open&email=alice@example.com"),
+    )
+    result = session.send(leaky)
+    print(f"\nleaky request -> {result.action} "
+          f"(class={result.traffic_class})")
+    print(f"  body after PVN: {leaky.payload.body!r}")
+
+    # 4. A man-in-the-middle handshake gets blocked.
+    mitm = MitmInterceptor("coffee-shop-box",
+                           CertificateAuthority("EvilCA", b"evil"),
+                           now=session.sim.now)
+    forged = mitm.intercept(
+        session.tls_servers["bank.example.com"].respond("bank.example.com")
+    )
+    attacked = Packet(src=connection.device_ip, dst="198.51.100.5",
+                      dst_port=443, owner="alice", payload=forged)
+    result = session.send(attacked)
+    print(f"\nMITM handshake -> {result.action}")
+    print(f"  reason: {attacked.drop_reason}")
+
+    # 5. Trust, but verify: audit the provider.
+    violations = session.audit()
+    print(f"\naudit violations: {violations or 'none (honest provider)'}")
+    print(f"provider reputation: "
+          f"{session.device.reputation.score(session.provider.name):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Secure roaming: one PVNC, three very different access networks.
+
+The paper's core pitch — "the illusion of a personal home network
+wherever the device roams" — played out across:
+
+1. an honest PVN-supporting ISP (everything just works),
+2. a dishonest ISP that covertly throttles video and skips the PII
+   module it was paid for (caught by the auditor, blacklisted after
+   repeated offences, billing dispute filed),
+3. an airport network with no PVN support at all (the device probes
+   remote PVN locations and falls back to selective tunneling).
+
+    python examples/secure_roaming.py
+"""
+
+from repro.core import AccessProvider, DishonestyProfile, PvnSession, default_pvnc
+from repro.core.auditor import file_dispute
+from repro.core.tunneling import (
+    EndpointCandidate,
+    RedirectRule,
+    SelectiveRedirector,
+    needs_tls_interception,
+    select_endpoint,
+)
+from repro.netsim import Packet
+
+
+def roam_honest() -> None:
+    print("=== Stop 1: home ISP (honest, PVN-supporting) ===")
+    session = PvnSession.build(seed=1)
+    outcome = session.connect(default_pvnc())
+    print(f"deployed: {outcome.deployed}, "
+          f"services: {len(session.device.connection.services)}, "
+          f"price: {outcome.price_paid}")
+    print(f"audit: {session.audit() or 'clean'}")
+    print(f"reputation: "
+          f"{session.device.reputation.score(session.provider.name):.2f}\n")
+
+
+def roam_dishonest() -> None:
+    print("=== Stop 2: discount ISP (covert shaper, skips paid modules) ===")
+    cheat = DishonestyProfile(
+        shape_video_to_bps=1.5e6,
+        skip_services=frozenset({"pii_detector"}),
+        modify_content=True,
+        inflate_path_by=0.150,
+    )
+    session = PvnSession.build(seed=2, dishonesty=cheat)
+    outcome = session.connect(default_pvnc())
+    print(f"deployed: {outcome.deployed} (looks fine at first)")
+
+    for audit_round in range(1, 7):
+        violations = session.audit()
+        score = session.device.reputation.score(session.provider.name)
+        print(f"  audit {audit_round}: violations={violations} "
+              f"reputation={score:.2f}")
+        if session.device.reputation.blacklisted(session.provider.name):
+            print("  -> provider BLACKLISTED")
+            break
+
+    dispute = file_dispute(
+        session.device.ledger, session.provider.name,
+        session.device.connection.deployment_id,
+        amount_paid=session.device.connection.price_paid,
+    )
+    print(f"billing dispute: {dispute.summary}\n")
+
+
+def roam_unsupported() -> None:
+    print("=== Stop 3: airport WiFi (no PVN support) ===")
+    session = PvnSession.build(seed=3, supports_pvn=False)
+    outcome = session.connect(default_pvnc())
+    print(f"deployed: {outcome.deployed} — {outcome.reason}")
+
+    # §3.3 "Coping with unavailability": probe remote PVN locations.
+    selection = select_endpoint([
+        EndpointCandidate("next-hop-as", probe=lambda: 0.018, price=1.0),
+        EndpointCandidate("cloud-vm", probe=lambda: 0.045, price=0.5),
+        EndpointCandidate("home-network", probe=lambda: 0.080, price=0.0),
+    ])
+    print(f"best remote PVN location: {selection.chosen}")
+    for score in selection.scores:
+        print(f"  {score.name}: rtt={score.median_rtt * 1e3:.0f}ms "
+              f"price={score.price} cost={score.cost:.1f}")
+
+    # Tunnel only what needs trusted execution (Fig. 1(c)).
+    redirector = SelectiveRedirector([
+        RedirectRule("tls-inspection", needs_tls_interception,
+                     selection.chosen),
+    ])
+    for index in range(20):
+        packet = Packet(src="10.9.0.2", dst="198.51.100.10", dst_port=443,
+                        owner="alice", flow_id=index)
+        if index % 5 == 0:
+            packet.metadata["needs_inspection"] = True
+        redirector.route(packet)
+    print(f"selective tunnel: {redirector.redirected}/20 flows redirected "
+          f"({redirector.redirect_fraction:.0%}); the rest stay local")
+
+    # A second provider appearing in the zone rescues full PVN service.
+    rescue = AccessProvider("isp-rescue", sim=session.sim, seed=3)
+    rescue.attach_device(session.device.node_name)
+    session.add_provider(rescue)
+    outcome = session.connect(default_pvnc())
+    print(f"after isp-rescue appears: deployed={outcome.deployed} "
+          f"via {session.device.connection.provider.name}")
+
+
+def main() -> None:
+    roam_honest()
+    roam_dishonest()
+    roam_unsupported()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — Personal Virtual Networks (PVN).
+
+A laptop-scale, pure-Python reproduction of *"A Case for Personal
+Virtual Networks"* (David Choffnes, HotNets-XV, 2016): the PVN
+abstraction, its substrates (discrete-event network simulation, SDN
+match/action data plane, NFV software middleboxes, protocol models),
+the PVNC configuration language and compiler, the discovery/deployment
+protocol, the auditor, and the paper's example middleboxes and
+baselines.
+
+Quickstart
+----------
+>>> from repro import PvnSession, default_pvnc
+>>> session = PvnSession.build(seed=1)
+>>> outcome = session.connect(default_pvnc())
+>>> outcome.deployed
+True
+
+See ``examples/quickstart.py`` and README.md for more.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):  # pragma: no cover - thin lazy-import shim
+    # The top-level convenience API lives in repro.core.session; importing
+    # it lazily keeps `import repro` cheap for substrate-only users.
+    if name in ("PvnSession", "SessionOutcome", "default_pvnc"):
+        from repro.core import session as _session
+
+        return getattr(_session, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

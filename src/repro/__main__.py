@@ -1,0 +1,59 @@
+"""Run the full experiment suite: ``python -m repro [IDS...]``.
+
+With no arguments, runs every experiment in DESIGN.md §3's index and
+prints each table.  Pass experiment ids (``F1A E3 E9``) to run a
+subset, and ``--seed N`` to change the seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the PVN reproduction's experiment suite.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help=f"experiment ids to run (default: all). "
+             f"Known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit results as one JSON document")
+    args = parser.parse_args(argv)
+
+    wanted = [e.upper() for e in args.experiments] or list(ALL_EXPERIMENTS)
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; "
+                     f"known: {sorted(ALL_EXPERIMENTS)}")
+
+    if args.json:
+        import json
+
+        results = {
+            experiment_id: ALL_EXPERIMENTS[experiment_id](
+                seed=args.seed
+            ).to_dict()
+            for experiment_id in wanted
+        }
+        print(json.dumps(results, indent=2))
+        return 0
+
+    for index, experiment_id in enumerate(wanted):
+        if index:
+            print()
+        result = ALL_EXPERIMENTS[experiment_id](seed=args.seed)
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

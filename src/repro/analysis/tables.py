@@ -1,0 +1,46 @@
+"""ASCII table rendering for experiment output.
+
+Every experiment prints its results as an aligned table matching the
+rows recorded in EXPERIMENTS.md, so `python -m repro.experiments.<id>`
+output can be diffed against the documented values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    header = [str(c) for c in columns]
+    body = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(header))
+    out.append(rule)
+    out.extend(line(row) for row in body)
+    return "\n".join(out)

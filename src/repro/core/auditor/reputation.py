@@ -1,0 +1,87 @@
+"""Provider reputation and blacklisting (§3.3).
+
+"Should PVNs be successful, ISPs would be incentivized to act honestly
+or face loss of revenue from blacklisting, leading users to take their
+business to competing PVN-supporting providers."
+
+Reputation is a Beta-style estimator: each provider accumulates pass
+and fail observations; its score is the smoothed pass fraction.
+Providers below the blacklist threshold are excluded from provider
+selection, and :func:`choose_provider` ranks the remainder by a
+reputation-and-price utility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AuditError
+
+
+@dataclasses.dataclass
+class ProviderRecord:
+    """Audit history for one provider."""
+
+    passes: float = 1.0   # Beta(1,1) prior
+    fails: float = 1.0
+
+    @property
+    def score(self) -> float:
+        return self.passes / (self.passes + self.fails)
+
+
+class ReputationSystem:
+    """Per-provider audit-outcome scoring with blacklisting."""
+
+    def __init__(self, blacklist_threshold: float = 0.3,
+                 decay: float = 1.0) -> None:
+        if not 0.0 <= blacklist_threshold <= 1.0:
+            raise AuditError("blacklist threshold must be in [0,1]")
+        if not 0.0 < decay <= 1.0:
+            raise AuditError("decay must be in (0,1]")
+        self.blacklist_threshold = blacklist_threshold
+        self.decay = decay
+        self._providers: dict[str, ProviderRecord] = {}
+
+    def _record(self, provider: str) -> ProviderRecord:
+        return self._providers.setdefault(provider, ProviderRecord())
+
+    def observe(self, provider: str, passed: bool) -> None:
+        """Fold one audit outcome in (older evidence decays)."""
+        record = self._record(provider)
+        record.passes *= self.decay
+        record.fails *= self.decay
+        if passed:
+            record.passes += 1.0
+        else:
+            record.fails += 1.0
+
+    def score(self, provider: str) -> float:
+        return self._record(provider).score
+
+    def blacklisted(self, provider: str) -> bool:
+        return self.score(provider) < self.blacklist_threshold
+
+    def eligible(self, providers: list[str]) -> list[str]:
+        return [p for p in providers if not self.blacklisted(p)]
+
+
+def choose_provider(
+    reputation: ReputationSystem,
+    candidates: list[tuple[str, float]],       # (provider, price)
+    price_weight: float = 0.1,
+) -> str | None:
+    """The best non-blacklisted provider by reputation-minus-price.
+
+    ``price_weight`` converts price units into reputation units; higher
+    values make the device more price-sensitive.
+    """
+    best_name: str | None = None
+    best_utility = float("-inf")
+    for name, price in candidates:
+        if reputation.blacklisted(name):
+            continue
+        utility = reputation.score(name) - price_weight * price
+        if utility > best_utility:
+            best_name, best_utility = name, utility
+    return best_name

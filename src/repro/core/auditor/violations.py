@@ -1,0 +1,103 @@
+"""Violation evidence (§3.1).
+
+"Observed violations in either configurations or policies can be used
+as evidence in billing disputes, and to inform reputations for PVN
+providers."
+
+The :class:`EvidenceLedger` is the device-side append-only record of
+audit outcomes; :func:`file_dispute` turns a provider's violations into
+a billing-dispute document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.auditor.measurements import MeasurementResult
+
+
+@dataclasses.dataclass(frozen=True)
+class ViolationRecord:
+    """One piece of evidence against a provider."""
+
+    time: float
+    provider: str
+    deployment_id: str
+    test: str
+    detail: str
+
+
+@dataclasses.dataclass(frozen=True)
+class BillingDispute:
+    """A dispute document assembled from ledger evidence."""
+
+    provider: str
+    deployment_id: str
+    amount_disputed: float
+    violations: tuple[ViolationRecord, ...]
+
+    @property
+    def summary(self) -> str:
+        kinds = sorted({v.test for v in self.violations})
+        return (f"dispute {self.amount_disputed:.2f} against "
+                f"{self.provider} ({len(self.violations)} violations: "
+                f"{', '.join(kinds)})")
+
+
+class EvidenceLedger:
+    """Append-only audit evidence with per-provider queries."""
+
+    def __init__(self) -> None:
+        self._records: list[ViolationRecord] = []
+        self.audits_run = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record_result(
+        self,
+        result: MeasurementResult,
+        provider: str,
+        deployment_id: str,
+        now: float,
+    ) -> ViolationRecord | None:
+        """Fold one measurement in; returns the record when violated."""
+        self.audits_run += 1
+        if not result.violated:
+            return None
+        record = ViolationRecord(
+            time=now, provider=provider, deployment_id=deployment_id,
+            test=result.test, detail=result.detail,
+        )
+        self._records.append(record)
+        return record
+
+    def violations_for(self, provider: str) -> list[ViolationRecord]:
+        return [r for r in self._records if r.provider == provider]
+
+    def violation_count(self, provider: str) -> int:
+        return len(self.violations_for(provider))
+
+    def all_records(self) -> list[ViolationRecord]:
+        return list(self._records)
+
+
+def file_dispute(
+    ledger: EvidenceLedger,
+    provider: str,
+    deployment_id: str,
+    amount_paid: float,
+) -> BillingDispute | None:
+    """A dispute for the amount paid, or None with no evidence."""
+    violations = tuple(
+        r for r in ledger.violations_for(provider)
+        if r.deployment_id == deployment_id
+    )
+    if not violations:
+        return None
+    return BillingDispute(
+        provider=provider,
+        deployment_id=deployment_id,
+        amount_disputed=amount_paid,
+        violations=violations,
+    )

@@ -1,0 +1,53 @@
+"""PVN deployment: embedding, installation, isolation, lifecycle."""
+
+from repro.core.deployment.embedding import (
+    EmbeddingResult,
+    admission_headroom,
+    embed_pvn,
+    estimate_max_subscribers,
+)
+from repro.core.deployment.isolation import (
+    IsolationReport,
+    probe_cross_user,
+    sweep_deployments,
+)
+from repro.core.deployment.lifecycle import (
+    LeaseTable,
+    MigrationResult,
+    migrate_device,
+    refresh_address,
+    sweep_expired,
+)
+from repro.core.deployment.manager import (
+    ACTION_DROP,
+    ACTION_FORWARD,
+    ACTION_TUNNEL,
+    DataPathOutcome,
+    Deployment,
+    DeploymentManager,
+    DeploymentState,
+    PvnDataPath,
+)
+
+__all__ = [
+    "ACTION_DROP",
+    "ACTION_FORWARD",
+    "ACTION_TUNNEL",
+    "DataPathOutcome",
+    "Deployment",
+    "DeploymentManager",
+    "DeploymentState",
+    "EmbeddingResult",
+    "IsolationReport",
+    "LeaseTable",
+    "MigrationResult",
+    "PvnDataPath",
+    "admission_headroom",
+    "embed_pvn",
+    "estimate_max_subscribers",
+    "migrate_device",
+    "probe_cross_user",
+    "refresh_address",
+    "sweep_deployments",
+    "sweep_expired",
+]

@@ -1,0 +1,95 @@
+"""Virtual-network embedding and admission control.
+
+Maps a compiled PVNC onto the provider's physical topology: picks NFV
+hosts (or reusable physical middleboxes) for every chain element via
+:func:`repro.nfv.placement.place_chain`, checks aggregate admission,
+and reports the latency stretch the embedding implies — the number the
+auditor's path-inflation test later compares against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.pvnc.compiler import CompiledPvnc
+from repro.errors import AdmissionError, EmbeddingError
+from repro.netsim.topology import PhysicalTopology
+from repro.nfv.hypervisor import NfvHost
+from repro.nfv.placement import PlacementPlan, place_chain
+
+
+@dataclasses.dataclass(frozen=True)
+class EmbeddingResult:
+    """A feasible embedding of one PVN."""
+
+    plan: PlacementPlan
+    device_node: str
+    gateway_node: str
+    expected_rtt: float          # device->gateway RTT along the PVN path
+
+    @property
+    def stretch(self) -> float:
+        return self.plan.stretch
+
+
+def embed_pvn(
+    compiled: CompiledPvnc,
+    topo: PhysicalTopology,
+    hosts: dict[str, NfvHost],
+    device_node: str,
+    gateway_node: str = "gw",
+    prefer_reuse: bool = True,
+    max_stretch: float = 4.0,
+) -> EmbeddingResult:
+    """Embed ``compiled`` or raise.
+
+    Raises :class:`EmbeddingError` when no placement exists and
+    :class:`AdmissionError` when a placement exists but its stretch
+    exceeds ``max_stretch`` (the provider refuses service that bad).
+    """
+    plan = place_chain(
+        topo,
+        list(compiled.placement_requests),
+        src=device_node,
+        dst=gateway_node,
+        hosts=hosts,
+        prefer_reuse=prefer_reuse,
+    )
+    if plan.stretch > max_stretch:
+        raise AdmissionError(
+            f"embedding stretch x{plan.stretch:.2f} exceeds the "
+            f"provider's limit x{max_stretch}"
+        )
+    expected_rtt = 2.0 * topo.path_latency(list(plan.path))
+    return EmbeddingResult(
+        plan=plan,
+        device_node=device_node,
+        gateway_node=gateway_node,
+        expected_rtt=expected_rtt,
+    )
+
+
+def admission_headroom(hosts: dict[str, NfvHost]) -> dict[str, float]:
+    """Fractional memory headroom per host (capacity planning)."""
+    return {
+        name: 1.0 - host.memory_in_use / host.capacity.memory_bytes
+        for name, host in sorted(hosts.items())
+    }
+
+
+def estimate_max_subscribers(
+    hosts: dict[str, NfvHost],
+    per_user_memory: int,
+    per_user_cpu: float,
+) -> int:
+    """How many more identical PVNs the NFV tier could admit."""
+    if per_user_memory <= 0 or per_user_cpu <= 0:
+        raise EmbeddingError("per-user resources must be positive")
+    total = 0
+    for host in hosts.values():
+        by_memory = (host.capacity.memory_bytes - host.memory_in_use) // (
+            per_user_memory
+        )
+        by_cpu = int((host.capacity.cpu_cores - host.cpu_in_use) / per_user_cpu)
+        total += max(0, min(by_memory, by_cpu))
+    return total

@@ -1,0 +1,111 @@
+"""Deployment lifecycle operations beyond install/teardown.
+
+* **DHCP refresh** — the §3.1 post-ACK address move into the PVN's
+  block.
+* **Migration** — when a device roams to another AP inside the same
+  provider, re-embed the chain and move state without a full
+  renegotiation.
+* **Expiry sweeps** — deployments are leased; unfunded leases are torn
+  down, freeing NFV capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.deployment.embedding import embed_pvn
+from repro.core.deployment.manager import (
+    Deployment,
+    DeploymentManager,
+    DeploymentState,
+)
+from repro.errors import DeploymentError
+from repro.netproto.dhcp import DhcpServer, Lease
+
+
+def refresh_address(
+    manager: DeploymentManager,
+    dhcp: DhcpServer,
+    deployment_id: str,
+    client_mac: str,
+    now: float,
+) -> Lease:
+    """Move the device's lease into its deployment's subnet."""
+    deployment = manager.deployment(deployment_id)
+    if deployment.state is not DeploymentState.ACTIVE:
+        raise DeploymentError(
+            f"cannot refresh into inactive deployment {deployment_id}"
+        )
+    return dhcp.refresh_into_pvn(client_mac, deployment_id, now)
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of an intra-provider AP migration."""
+
+    deployment_id: str
+    old_stretch: float
+    new_stretch: float
+    moved_services: tuple[str, ...]
+
+
+def migrate_device(
+    manager: DeploymentManager,
+    deployment_id: str,
+    new_device_node: str,
+) -> MigrationResult:
+    """Re-embed an active deployment after the device moved APs."""
+    deployment = manager.deployment(deployment_id)
+    if deployment.state is not DeploymentState.ACTIVE:
+        raise DeploymentError(f"deployment {deployment_id} is not active")
+    old = deployment.embedding
+    new_embedding = embed_pvn(
+        deployment.compiled, manager.topo, manager.hosts,
+        device_node=new_device_node, gateway_node=manager.gateway_node,
+    )
+    old_nodes = {d.service: d.node for d in old.plan.decisions}
+    moved = tuple(
+        d.service for d in new_embedding.plan.decisions
+        if old_nodes.get(d.service) != d.node
+    )
+    deployment.embedding = new_embedding
+    return MigrationResult(
+        deployment_id=deployment_id,
+        old_stretch=old.stretch,
+        new_stretch=new_embedding.stretch,
+        moved_services=moved,
+    )
+
+
+@dataclasses.dataclass
+class LeaseTable:
+    """Funding leases: deployment id -> paid-until time."""
+
+    leases: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def fund(self, deployment_id: str, until: float) -> None:
+        self.leases[deployment_id] = max(
+            self.leases.get(deployment_id, 0.0), until
+        )
+
+    def expired(self, now: float) -> list[str]:
+        return sorted(
+            deployment_id for deployment_id, until in self.leases.items()
+            if until < now
+        )
+
+
+def sweep_expired(
+    manager: DeploymentManager, leases: LeaseTable, now: float
+) -> list[str]:
+    """Tear down every deployment whose lease lapsed; returns their ids."""
+    torn_down = []
+    for deployment_id in leases.expired(now):
+        deployment = manager.deployments.get(deployment_id)
+        if deployment is None or deployment.state is not DeploymentState.ACTIVE:
+            continue
+        manager.teardown(deployment_id)
+        torn_down.append(deployment_id)
+    for deployment_id in torn_down:
+        del leases.leases[deployment_id]
+    return torn_down

@@ -1,0 +1,438 @@
+"""The PVN deployment server.
+
+§3.1: "Upon receiving a deployment request, the PVN-supporting network
+must install the PVNC and route the device's traffic through it.  Upon
+successfully setting up the PVNC, the network sends an acknowledgement
+to the device, which also triggers a DHCP refresh to obtain the new
+addresses.  If the deployment fails for some reason, the provider
+replies with a NACK and failure reason."
+
+:class:`DeploymentManager` implements that contract: compile ->
+embed -> launch containers -> build the sandboxed data path -> install
+owner-scoped flow rules -> allocate the PVN subnet -> attest -> ACK.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Callable
+
+from repro.core.auditor.attestation import Attestation, TrustedPlatform
+from repro.core.auditor.path_proof import ProofKeyring, make_keyring, stamp
+from repro.core.deployment.embedding import EmbeddingResult, embed_pvn
+from repro.core.discovery.messages import (
+    DeploymentAck,
+    DeploymentNack,
+    DeploymentRequest,
+)
+from repro.core.pvnc.compiler import (
+    CompiledPvnc,
+    UserEnvironment,
+    build_middleboxes,
+    compile_pvnc,
+)
+from repro.errors import ReproError
+from repro.middleboxes.classifier import CLASS_KEY
+from repro.netproto.dhcp import DhcpServer
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import PhysicalTopology
+from repro.netsim.trace import Tracer
+from repro.nfv.container import Container, ContainerSpec
+from repro.nfv.hypervisor import NfvHost
+from repro.nfv.middlebox import Middlebox, ProcessingContext, VerdictKind
+from repro.nfv.sandbox import Capability, Sandbox
+from repro.sdn.actions import Output, ToChain
+from repro.sdn.controller import Controller
+
+_deployment_numbers = itertools.count(1)
+
+ACTION_FORWARD = "forward"
+ACTION_DROP = "drop"
+ACTION_TUNNEL = "tunnel"
+
+
+@dataclasses.dataclass
+class DataPathOutcome:
+    """What the PVN did with one packet."""
+
+    action: str                       # forward | drop | tunnel
+    tunnel_endpoint: str = ""
+    added_delay: float = 0.0
+    traffic_class: str = ""
+    verdict_reasons: tuple[str, ...] = ()
+
+
+class PvnDataPath:
+    """The per-deployment packet pipeline: classifier -> class chain ->
+    terminal (Fig. 1(a) realised)."""
+
+    def __init__(
+        self,
+        deployment_id: str,
+        compiled: CompiledPvnc,
+        middleboxes: dict[str, Middlebox],
+        sandboxes: dict[str, Sandbox],
+        keyring: ProofKeyring,
+        container_spec: ContainerSpec,
+        tracer: Tracer | None = None,
+        skip_services: frozenset[str] = frozenset(),
+        trusted_execution: bool = False,
+    ) -> None:
+        self.deployment_id = deployment_id
+        self.compiled = compiled
+        self.middleboxes = middleboxes
+        self.sandboxes = sandboxes
+        self.keyring = keyring
+        self.container_spec = container_spec
+        self.tracer = tracer
+        self.skip_services = skip_services   # dishonest-provider knob
+        self.trusted_execution = trusted_execution
+        self.packets_processed = 0
+
+    def _context(self, packet: Packet, now: float) -> ProcessingContext:
+        return ProcessingContext(
+            now=now, owner=packet.owner, tracer=self.tracer,
+            trusted_execution=self.trusted_execution,
+        )
+
+    def _run_service(
+        self, service: str, packet: Packet, context: ProcessingContext
+    ):
+        stamp(packet, service, self.keyring)
+        sandbox = self.sandboxes.get(service)
+        if sandbox is not None:
+            return sandbox.process(packet, context)
+        return self.middleboxes[service].process(packet, context)
+
+    def process(self, packet: Packet, now: float) -> DataPathOutcome:
+        """Run one packet through the full PVN pipeline."""
+        self.packets_processed += 1
+        context = self._context(packet, now)
+        delay = 0.0
+        reasons: list[str] = []
+
+        if "classifier" not in self.skip_services:
+            delay += self.container_spec.per_packet_delay
+            self._run_service("classifier", packet, context)
+        traffic_class = packet.metadata.get(CLASS_KEY, "other")
+
+        pipeline = self.compiled.pipeline_for(traffic_class)
+        terminal = self.compiled.terminal_for(traffic_class)
+        for service in pipeline:
+            if service in self.skip_services:
+                continue
+            delay += self.container_spec.per_packet_delay
+            verdict = self._run_service(service, packet, context)
+            reasons.append(f"{service}:{verdict.kind.value}")
+            if verdict.kind is VerdictKind.DROP:
+                packet.mark_dropped(
+                    f"{verdict.reason} (pvn {self.deployment_id})"
+                )
+                return DataPathOutcome(
+                    action=ACTION_DROP, added_delay=delay,
+                    traffic_class=traffic_class,
+                    verdict_reasons=tuple(reasons),
+                )
+            if verdict.kind is VerdictKind.TUNNEL:
+                return DataPathOutcome(
+                    action=ACTION_TUNNEL,
+                    tunnel_endpoint=verdict.tunnel_endpoint,
+                    added_delay=delay,
+                    traffic_class=traffic_class,
+                    verdict_reasons=tuple(reasons),
+                )
+
+        if terminal == "drop":
+            packet.mark_dropped(f"policy drop (pvn {self.deployment_id})")
+            return DataPathOutcome(
+                action=ACTION_DROP, added_delay=delay,
+                traffic_class=traffic_class, verdict_reasons=tuple(reasons),
+            )
+        if terminal.startswith("tunnel:"):
+            return DataPathOutcome(
+                action=ACTION_TUNNEL,
+                tunnel_endpoint=terminal.split(":", 1)[1],
+                added_delay=delay,
+                traffic_class=traffic_class,
+                verdict_reasons=tuple(reasons),
+            )
+        return DataPathOutcome(
+            action=ACTION_FORWARD, added_delay=delay,
+            traffic_class=traffic_class, verdict_reasons=tuple(reasons),
+        )
+
+
+class DeploymentState(enum.Enum):
+    ACTIVE = "active"
+    TORN_DOWN = "torn_down"
+
+
+@dataclasses.dataclass
+class Deployment:
+    """One installed PVN."""
+
+    deployment_id: str
+    user: str
+    compiled: CompiledPvnc
+    embedding: EmbeddingResult
+    containers: dict[str, Container]
+    datapath: PvnDataPath
+    subnet: str
+    price_paid: float
+    created_at: float
+    ready_at: float
+    attestation: Attestation | None
+    state: DeploymentState = DeploymentState.ACTIVE
+
+    @property
+    def setup_latency(self) -> float:
+        return self.ready_at - self.created_at
+
+
+class DeploymentManager:
+    """Provider-side installation and teardown of PVNs."""
+
+    def __init__(
+        self,
+        provider: str,
+        topo: PhysicalTopology,
+        hosts: dict[str, NfvHost],
+        controller: Controller | None = None,
+        sim: Simulator | None = None,
+        dhcp: DhcpServer | None = None,
+        platform: TrustedPlatform | None = None,
+        tracer: Tracer | None = None,
+        container_spec: ContainerSpec | None = None,
+        ingress_switch: str = "agg",
+        gateway_node: str = "gw",
+        store_services: set[str] | None = None,
+        store_factories: dict[str, Callable[[], Middlebox]] | None = None,
+        store_capabilities: dict[str, Capability] | None = None,
+    ) -> None:
+        self.provider = provider
+        self.topo = topo
+        self.hosts = hosts
+        self.controller = controller
+        self.sim = sim
+        self.dhcp = dhcp
+        self.platform = platform
+        self.tracer = tracer
+        self.container_spec = container_spec or ContainerSpec()
+        self.ingress_switch = ingress_switch
+        self.gateway_node = gateway_node
+        self.store_services = store_services or set()
+        self.store_factories = store_factories or {}
+        self.store_capabilities = store_capabilities or {}
+        self.deployments: dict[str, Deployment] = {}
+        self._subnet_counter = itertools.count(1)
+
+    # -- deployment ---------------------------------------------------------
+
+    def deploy(
+        self,
+        request: DeploymentRequest,
+        env: UserEnvironment,
+        device_node: str,
+        now: float,
+        skip_services: frozenset[str] = frozenset(),
+        trusted_execution: bool = False,
+    ) -> DeploymentAck | DeploymentNack:
+        """Install a PVN; every failure becomes a NACK with a reason."""
+        try:
+            compiled = compile_pvnc(request.pvnc, self.store_services,
+                                    self.container_spec,
+                                    self.store_capabilities)
+            embedding = embed_pvn(
+                compiled, self.topo, self.hosts,
+                device_node=device_node, gateway_node=self.gateway_node,
+            )
+            deployment = self._install(
+                request, compiled, embedding, env, now,
+                skip_services, trusted_execution,
+            )
+        except ReproError as exc:
+            return DeploymentNack(reason=f"{type(exc).__name__}: {exc}")
+        self.deployments[deployment.deployment_id] = deployment
+        if self.tracer is not None:
+            self.tracer.emit(now, "deployment", self.provider,
+                             event="deployed", user=request.pvnc.user,
+                             deployment_id=deployment.deployment_id,
+                             services=",".join(
+                                 compiled.deployment_services))
+        return DeploymentAck(
+            deployment_id=deployment.deployment_id,
+            pvn_subnet=deployment.subnet,
+            attestation_available=deployment.attestation is not None,
+        )
+
+    def _install(
+        self,
+        request: DeploymentRequest,
+        compiled: CompiledPvnc,
+        embedding: EmbeddingResult,
+        env: UserEnvironment,
+        now: float,
+        skip_services: frozenset[str],
+        trusted_execution: bool,
+    ) -> Deployment:
+        user = request.pvnc.user
+        deployment_id = f"{user}/pvn{next(_deployment_numbers)}"
+
+        # 1. Launch a container per non-reused chain element; they start
+        #    in parallel, so readiness is one instantiation time away.
+        middleboxes = build_middleboxes(compiled, env, self.store_factories)
+        containers: dict[str, Container] = {}
+        reused = {
+            d.service for d in embedding.plan.decisions if d.reused_physical
+        }
+        host_by_service = {
+            d.service: d.node for d in embedding.plan.decisions
+        }
+        for service, middlebox in middleboxes.items():
+            if service in reused:
+                continue
+            container = Container(middlebox, spec=self.container_spec,
+                                  owner=user)
+            host_name = host_by_service.get(service)
+            host = self.hosts.get(host_name or "")
+            if host is not None:
+                host.launch(container, sim=self.sim, now=now)
+            else:
+                container.start_immediately(now)
+            containers[service] = container
+        ready_at = now + (
+            self.container_spec.instantiation_time if containers else 0.0
+        )
+
+        # 2. Sandboxes with the compiler's capability grants.
+        grants = dict(compiled.capability_grants)
+        sandboxes = {
+            service: Sandbox(
+                middlebox, owner=user,
+                capabilities=grants.get(service, Capability.OBSERVE),
+            )
+            for service, middlebox in middleboxes.items()
+        }
+
+        # 3. The data path, with path-proof keys for every element.
+        keyring = make_keyring(
+            deployment_id, list(compiled.deployment_services)
+        )
+        datapath = PvnDataPath(
+            deployment_id=deployment_id,
+            compiled=compiled,
+            middleboxes=middleboxes,
+            sandboxes=sandboxes,
+            keyring=keyring,
+            container_spec=self.container_spec,
+            tracer=self.tracer,
+            skip_services=skip_services,
+            trusted_execution=trusted_execution,
+        )
+
+        # 4. Owner-scoped flow rules steering the user into the chain.
+        if self.controller is not None:
+            switch = self.controller.switch(self.ingress_switch)
+            detour = self._detour_delay(embedding)
+            switch.bind_chain(
+                deployment_id,
+                lambda packet, chain_id: self._chain_executor(
+                    datapath, packet, detour
+                ),
+            )
+            next_hop = self._next_hop_toward_gateway()
+            self.controller.install(
+                self.ingress_switch,
+                compiled.pvn_match,
+                (ToChain(deployment_id, resume_neighbor=next_hop),),
+                priority=200,
+                pvn_id=deployment_id,
+            )
+
+        # 5. PVN-scoped addresses for the post-ACK DHCP refresh.
+        subnet = f"10.200.{next(self._subnet_counter)}.0/24"
+        if self.dhcp is not None:
+            self.dhcp.register_pvn_subnet(deployment_id, subnet)
+
+        # 6. Attestation of exactly what was installed.
+        attestation = None
+        if self.platform is not None:
+            attestation = self.platform.attest(
+                deployment_id,
+                request.pvnc.digest(),
+                tuple(s for s in compiled.deployment_services
+                      if s not in skip_services),
+                now=now,
+            )
+
+        return Deployment(
+            deployment_id=deployment_id,
+            user=user,
+            compiled=compiled,
+            embedding=embedding,
+            containers=containers,
+            datapath=datapath,
+            subnet=subnet,
+            price_paid=request.payment,
+            created_at=now,
+            ready_at=ready_at,
+            attestation=attestation,
+        )
+
+    def _chain_executor(self, datapath: PvnDataPath, packet: Packet,
+                        detour_delay: float = 0.0):
+        now = self.sim.now if self.sim is not None else 0.0
+        outcome = datapath.process(packet, now)
+        if outcome.action != ACTION_FORWARD:
+            return None
+        # Report processing latency (§3.3's 45 us/container) plus the
+        # placement detour (the embedding's path stretch) for the
+        # switch to charge before resuming the packet.
+        packet.metadata["chain_delay"] = outcome.added_delay + detour_delay
+        return packet
+
+    def _detour_delay(self, embedding: EmbeddingResult) -> float:
+        """One-way extra latency of the waypointed path vs direct."""
+        direct = self.topo.path_latency(self.topo.shortest_path(
+            embedding.device_node, embedding.gateway_node
+        ))
+        via = self.topo.path_latency(list(embedding.plan.path))
+        return max(0.0, via - direct)
+
+    def _next_hop_toward_gateway(self) -> str:
+        path = self.topo.shortest_path(self.ingress_switch, self.gateway_node)
+        return path[1] if len(path) > 1 else self.gateway_node
+
+    # -- queries and teardown ----------------------------------------------
+
+    def deployment(self, deployment_id: str) -> Deployment:
+        try:
+            return self.deployments[deployment_id]
+        except KeyError:
+            raise ReproError(f"unknown deployment {deployment_id!r}") from None
+
+    def deployments_for(self, user: str) -> list[Deployment]:
+        return [d for d in self.deployments.values() if d.user == user]
+
+    @property
+    def active_count(self) -> int:
+        return sum(
+            1 for d in self.deployments.values()
+            if d.state is DeploymentState.ACTIVE
+        )
+
+    def teardown(self, deployment_id: str) -> None:
+        """Remove a PVN: rules, containers, and address block."""
+        deployment = self.deployment(deployment_id)
+        if deployment.state is DeploymentState.TORN_DOWN:
+            return
+        if self.controller is not None:
+            self.controller.remove_pvn(deployment_id)
+        for host in self.hosts.values():
+            host.terminate_owner(deployment.user)
+        for container in deployment.containers.values():
+            container.stop()
+        deployment.state = DeploymentState.TORN_DOWN

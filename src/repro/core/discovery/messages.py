@@ -1,0 +1,103 @@
+"""Discovery and deployment protocol messages (§3.1).
+
+"The discovery message (DM) will specify a sequence number
+(incremented for each discovery attempt), the language and/or standards
+that the PVNC supports (e.g., OpenFlow, Docker containers), the virtual
+network topology, and an estimate of the network and computational
+resources requested by the PVNC.  A network that supports PVNs should
+respond to each DM with the location of the PVN deployment server, the
+languages/standards supported, an offered virtual network topology and
+resources (which may be identical to the request, or a subset), a cost
+per VNC module, and a time at which the offer expires."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.core.pvnc.model import Pvnc, ResourceEstimate
+
+#: Standards a PVNC/provider can speak, per the paper's examples.
+STANDARD_OPENFLOW = "openflow"
+STANDARD_DOCKER = "docker"
+
+_offer_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscoveryMessage:
+    """A device's DM, broadcast on attach (or re-sent with a subset)."""
+
+    device_id: str
+    sequence: int
+    standards: tuple[str, ...]
+    requested_services: tuple[str, ...]
+    estimate: ResourceEstimate
+    pvnc_digest: bytes
+
+    def subset(self, services: tuple[str, ...], estimate: ResourceEstimate,
+               digest: bytes) -> "DiscoveryMessage":
+        """The §3.1 retry: a new DM with a subset configuration."""
+        return dataclasses.replace(
+            self,
+            sequence=self.sequence + 1,
+            requested_services=services,
+            estimate=estimate,
+            pvnc_digest=digest,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Offer:
+    """A provider's response to a DM."""
+
+    provider: str
+    deployment_server: str
+    standards: tuple[str, ...]
+    offered_services: tuple[str, ...]        # may be a subset of the DM's
+    prices: tuple[tuple[str, float], ...]    # per-module cost
+    expires_at: float
+    in_reply_to: int                         # DM sequence number
+    offer_id: int = dataclasses.field(default_factory=lambda: next(_offer_ids))
+
+    @property
+    def total_price(self) -> float:
+        return sum(price for _, price in self.prices)
+
+    def price_of(self, service: str) -> float:
+        for name, price in self.prices:
+            if name == service:
+                return price
+        return 0.0
+
+    def covers(self, services: tuple[str, ...]) -> bool:
+        offered = set(self.offered_services)
+        return all(service in offered for service in services)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentRequest:
+    """Acceptance: the PVNC plus payment for the chosen services."""
+
+    device_id: str
+    offer_id: int
+    pvnc: Pvnc
+    accepted_services: tuple[str, ...]
+    payment: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentAck:
+    """Success: the PVN is installed and routed."""
+
+    deployment_id: str
+    pvn_subnet: str                 # triggers the DHCP refresh (§3.1)
+    attestation_available: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentNack:
+    """Failure, with the reason the paper requires providers to give."""
+
+    reason: str

@@ -1,0 +1,94 @@
+"""Provider pricing models (§3.3 "Incentivizing access network
+providers").
+
+"Access providers can give users free limited resources and
+configurations in return for ads, and allow users to purchase
+additional resources and functionality."  A :class:`PricingPolicy`
+captures that: a free (ad-supported) tier of services, per-service
+prices for the rest, a bulk discount, and a load-based surge
+multiplier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+#: Reference per-module prices (arbitrary currency units per session).
+DEFAULT_PRICES = {
+    "classifier": 0.0,
+    "tls_validator": 0.50,
+    "dns_validator": 0.25,
+    "pii_detector": 1.00,
+    "malware_detector": 0.75,
+    "tcp_proxy": 0.40,
+    "transcoder": 0.60,
+    "prefetcher": 0.50,
+    "tracker_blocker": 0.30,
+    "compressor": 0.30,
+    "encryptor": 0.45,
+    "decryptor": 0.15,
+    "replica_selector": 0.35,
+    "sensor_privacy": 0.80,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PricingPolicy:
+    """How a provider prices PVN modules."""
+
+    prices: tuple[tuple[str, float], ...] = tuple(
+        sorted(DEFAULT_PRICES.items())
+    )
+    free_tier: tuple[str, ...] = ("classifier",)   # ad-supported
+    default_price: float = 0.50                    # unknown services
+    bulk_threshold: int = 4                        # modules before discount
+    bulk_discount: float = 0.20                    # fraction off the excess
+    load_multiplier: float = 1.0                   # surge pricing knob
+
+    def __post_init__(self) -> None:
+        if self.default_price < 0 or self.load_multiplier <= 0:
+            raise ConfigurationError("invalid pricing parameters")
+        if not 0 <= self.bulk_discount < 1:
+            raise ConfigurationError("bulk_discount must be in [0,1)")
+
+    def base_price(self, service: str) -> float:
+        if service in self.free_tier:
+            return 0.0
+        for name, price in self.prices:
+            if name == service:
+                return price * self.load_multiplier
+        return self.default_price * self.load_multiplier
+
+    def quote(self, services: tuple[str, ...]) -> tuple[tuple[str, float], ...]:
+        """Per-service prices with the bulk discount applied.
+
+        The discount applies to every paid module past the threshold,
+        counted in the order requested (deterministic for the device).
+        """
+        quoted: list[tuple[str, float]] = []
+        paid_count = 0
+        for service in services:
+            price = self.base_price(service)
+            if price > 0:
+                paid_count += 1
+                if paid_count > self.bulk_threshold:
+                    price *= 1.0 - self.bulk_discount
+            quoted.append((service, round(price, 4)))
+        return tuple(quoted)
+
+    def total(self, services: tuple[str, ...]) -> float:
+        return round(sum(price for _, price in self.quote(services)), 4)
+
+
+def surge(policy: PricingPolicy, utilisation: float) -> PricingPolicy:
+    """A copy of ``policy`` with load-based surge pricing applied.
+
+    Multiplier grows linearly from 1.0 at <=50% utilisation to 2.0 at
+    100% — a simple congestion-pricing model for the ablation bench.
+    """
+    if not 0.0 <= utilisation <= 1.0:
+        raise ConfigurationError("utilisation must be in [0,1]")
+    multiplier = 1.0 + max(0.0, utilisation - 0.5) * 2.0
+    return dataclasses.replace(policy, load_multiplier=multiplier)

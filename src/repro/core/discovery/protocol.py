@@ -1,0 +1,166 @@
+"""Provider-side discovery service and device-side discovery client.
+
+The provider answers DMs with offers (§3.1): it intersects standards,
+offers the subset of requested services it actually supports, quotes
+prices from its :class:`~repro.core.discovery.pricing.PricingPolicy`,
+and stamps an expiry.  The device client sends DMs (optionally flooding
+several providers in the "discovery zone") and hands offers to the
+negotiation strategy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable
+
+from repro.core.discovery.messages import (
+    DeploymentAck,
+    DeploymentNack,
+    DeploymentRequest,
+    DiscoveryMessage,
+    Offer,
+    STANDARD_DOCKER,
+    STANDARD_OPENFLOW,
+)
+from repro.core.discovery.pricing import PricingPolicy
+from repro.core.pvnc.model import Pvnc, ResourceEstimate
+from repro.errors import NegotiationError, ProtocolError
+
+DeployFn = Callable[[DeploymentRequest], DeploymentAck | DeploymentNack]
+
+
+@dataclasses.dataclass
+class DiscoveryService:
+    """One provider's DM responder.
+
+    Parameters
+    ----------
+    provider:
+        Provider name, included in offers.
+    supported_services:
+        Services this network can host (empty = PVNs unsupported: DMs
+        go unanswered, modelling the §3.3 unavailability case).
+    pricing:
+        The provider's price list.
+    offer_lifetime:
+        Seconds before an offer expires.
+    deploy:
+        Callback invoked with accepted deployment requests.
+    """
+
+    provider: str
+    supported_services: tuple[str, ...]
+    pricing: PricingPolicy
+    deploy: DeployFn
+    deployment_server: str = ""
+    standards: tuple[str, ...] = (STANDARD_OPENFLOW, STANDARD_DOCKER)
+    offer_lifetime: float = 30.0
+    dms_received: int = 0
+    offers_made: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.deployment_server:
+            self.deployment_server = f"pvn.{self.provider}"
+        self._live_offers: dict[int, Offer] = {}
+
+    @property
+    def supports_pvn(self) -> bool:
+        return bool(self.supported_services)
+
+    def handle_dm(self, dm: DiscoveryMessage, now: float) -> Offer | None:
+        """Answer a discovery message, or None if PVNs are unsupported
+        or no standard is shared."""
+        self.dms_received += 1
+        if not self.supports_pvn:
+            return None
+        shared = tuple(s for s in dm.standards if s in self.standards)
+        if not shared:
+            return None
+        offered = tuple(
+            s for s in dm.requested_services if s in self.supported_services
+        )
+        offer = Offer(
+            provider=self.provider,
+            deployment_server=self.deployment_server,
+            standards=shared,
+            offered_services=offered,
+            prices=self.pricing.quote(offered),
+            expires_at=now + self.offer_lifetime,
+            in_reply_to=dm.sequence,
+        )
+        self.offers_made += 1
+        self._live_offers[offer.offer_id] = offer
+        return offer
+
+    def handle_deployment_request(
+        self, request: DeploymentRequest, now: float
+    ) -> DeploymentAck | DeploymentNack:
+        """Validate the acceptance against the live offer, then deploy."""
+        offer = self._live_offers.get(request.offer_id)
+        if offer is None:
+            return DeploymentNack(reason="unknown or consumed offer")
+        if now > offer.expires_at:
+            return DeploymentNack(reason="offer expired")
+        if not offer.covers(request.accepted_services):
+            return DeploymentNack(reason="accepted services not offered")
+        owed = sum(offer.price_of(s) for s in request.accepted_services)
+        if request.payment + 1e-9 < owed:
+            return DeploymentNack(
+                reason=f"payment {request.payment} below price {owed:.4f}"
+            )
+        del self._live_offers[request.offer_id]
+        return self.deploy(request)
+
+
+class DiscoveryClient:
+    """Device-side DM sender with sequence numbering."""
+
+    def __init__(self, device_id: str,
+                 standards: tuple[str, ...] = (STANDARD_OPENFLOW,
+                                               STANDARD_DOCKER)) -> None:
+        self.device_id = device_id
+        self.standards = standards
+        self._sequence = itertools.count(1)
+        self.dms_sent = 0
+
+    def make_dm(self, pvnc: Pvnc, estimate: ResourceEstimate
+                ) -> DiscoveryMessage:
+        self.dms_sent += 1
+        return DiscoveryMessage(
+            device_id=self.device_id,
+            sequence=next(self._sequence),
+            standards=self.standards,
+            requested_services=pvnc.used_services(),
+            estimate=estimate,
+            pvnc_digest=pvnc.digest(),
+        )
+
+    def flood(
+        self,
+        services: list[DiscoveryService],
+        pvnc: Pvnc,
+        estimate: ResourceEstimate,
+        now: float,
+    ) -> list[Offer]:
+        """Send one DM to every provider in the discovery zone.
+
+        Models the paper's limited flooding across multiple providers
+        "in case the access provider does not support" PVNs.
+        """
+        if not services:
+            raise NegotiationError("no providers in the discovery zone")
+        dm = self.make_dm(pvnc, estimate)
+        offers = []
+        for service in services:
+            offer = service.handle_dm(dm, now)
+            if offer is not None:
+                offers.append(offer)
+        return offers
+
+
+def check_ack(response: DeploymentAck | DeploymentNack) -> DeploymentAck:
+    """Unwrap an ACK or raise with the provider's failure reason."""
+    if isinstance(response, DeploymentNack):
+        raise ProtocolError(f"deployment NACKed: {response.reason}")
+    return response

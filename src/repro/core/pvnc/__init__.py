@@ -1,0 +1,45 @@
+"""PVNC: model, user-readable DSL, validation, and compiler."""
+
+from repro.core.pvnc.compiler import (
+    BUILTIN_REGISTRY,
+    CompiledPvnc,
+    UserEnvironment,
+    build_middleboxes,
+    builtin_services,
+    compile_pvnc,
+)
+from repro.core.pvnc.dsl import parse_pvnc, render_pvnc
+from repro.core.pvnc.repository import PvncRepository, parse_uri, pvnc_uri
+from repro.core.pvnc.model import (
+    ClassRule,
+    Constraints,
+    ModuleSpec,
+    Pvnc,
+    ResourceEstimate,
+    TERMINAL_DROP,
+    TERMINAL_FORWARD,
+)
+from repro.core.pvnc.validation import ensure_valid, validate_pvnc
+
+__all__ = [
+    "BUILTIN_REGISTRY",
+    "ClassRule",
+    "CompiledPvnc",
+    "Constraints",
+    "ModuleSpec",
+    "Pvnc",
+    "PvncRepository",
+    "ResourceEstimate",
+    "TERMINAL_DROP",
+    "TERMINAL_FORWARD",
+    "UserEnvironment",
+    "build_middleboxes",
+    "builtin_services",
+    "compile_pvnc",
+    "ensure_valid",
+    "parse_pvnc",
+    "parse_uri",
+    "pvnc_uri",
+    "render_pvnc",
+    "validate_pvnc",
+]

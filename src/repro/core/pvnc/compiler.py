@@ -1,0 +1,331 @@
+"""The PVNC compiler: user-readable configuration -> deployable program.
+
+§3.1: high-level tools "compile user-readable configurations into
+low-level SDN code that is run in the network(s) where the PVN is
+deployed".  The compiler output, a :class:`CompiledPvnc`, contains
+everything the deployment manager needs:
+
+* the owner-scoped SDN :class:`~repro.sdn.match.Match` that steers the
+  user's traffic into the PVN,
+* placement requests for the classifier and every used module,
+* the per-class chain layout and terminals (Fig. 1(a)),
+* resource and latency estimates (advertised in discovery messages),
+* capability grants for each module's sandbox.
+
+Builtin module construction is table-driven: :data:`BUILTIN_REGISTRY`
+maps a service name to a factory taking the :class:`ModuleSpec` and the
+user's :class:`UserEnvironment` (trust material, resolver set, etc.).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.core.pvnc.model import (
+    ModuleSpec,
+    Pvnc,
+    ResourceEstimate,
+    SOURCE_STORE,
+)
+from repro.core.pvnc.validation import ensure_valid
+from repro.errors import CompilationError
+from repro.middleboxes import (
+    CompressionProxy,
+    DnsValidator,
+    MalwareDetector,
+    PiiDetector,
+    Prefetcher,
+    SplitTcpProxy,
+    TlsValidator,
+    TrackerBlocker,
+    TrafficClassifier,
+    Transcoder,
+)
+from repro.netproto.dns import Resolver, TrustAnchor
+from repro.netproto.tls import TrustStore
+from repro.nfv.container import ContainerSpec
+from repro.nfv.middlebox import Middlebox
+from repro.nfv.placement import PlacementRequest
+from repro.nfv.sandbox import Capability
+from repro.sdn.match import Match
+
+
+@dataclasses.dataclass
+class UserEnvironment:
+    """The user-held material builtin modules are constructed with."""
+
+    trust_store: TrustStore | None = None
+    trust_anchor: TrustAnchor | None = None
+    open_resolvers: list[Resolver] = dataclasses.field(default_factory=list)
+    tracker_blocklist: tuple[str, ...] = ()
+    custom_pii: list[bytes] = dataclasses.field(default_factory=list)
+    session_key: bytes = b""    # for encryption-everywhere sealing
+
+
+@dataclasses.dataclass(frozen=True)
+class BuiltinEntry:
+    """Registry row for one builtin service."""
+
+    factory: Callable[[ModuleSpec, UserEnvironment], Middlebox]
+    capabilities: Capability
+    container: ContainerSpec = ContainerSpec()
+
+
+def _make_tls(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    if env.trust_store is None:
+        raise CompilationError("tls_validator needs a trust_store in the "
+                               "user environment")
+    return TlsValidator(env.trust_store, mode=spec.param("mode", "block"))
+
+
+def _make_dns(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    if env.trust_anchor is None:
+        raise CompilationError("dns_validator needs a trust_anchor in the "
+                               "user environment")
+    return DnsValidator(env.trust_anchor, env.open_resolvers)
+
+
+def _make_pii(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    return PiiDetector(
+        mode=spec.param("mode", "scrub"),
+        custom_strings=list(env.custom_pii),
+        tunnel_encrypted_to=spec.param("tunnel_encrypted_to", ""),
+    )
+
+
+def _make_tracker(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    if env.tracker_blocklist:
+        return TrackerBlocker(blocklist=env.tracker_blocklist)
+    return TrackerBlocker()
+
+
+def _session_key(env: UserEnvironment) -> bytes:
+    return env.session_key or b"pvn-default-session-key"
+
+
+def _make_encryptor(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    from repro.middleboxes.encryptor import EncryptionEverywhere
+
+    return EncryptionEverywhere(key=_session_key(env))
+
+
+def _make_decryptor(spec: ModuleSpec, env: UserEnvironment) -> Middlebox:
+    from repro.middleboxes.encryptor import DecryptionGateway
+
+    return DecryptionGateway(key=_session_key(env))
+
+
+def _make_replica_selector(spec: ModuleSpec, env: UserEnvironment
+                           ) -> Middlebox:
+    import numpy as np
+
+    from repro.middleboxes.replica_selector import ReplicaSelector
+
+    replicas = [r for r in spec.param("replicas").split(",") if r]
+    if not replicas:
+        raise CompilationError(
+            "replica_selector needs a replicas=<ip,ip,...> parameter"
+        )
+    return ReplicaSelector(
+        service_cidr=spec.param("cidr", "0.0.0.0/0"),
+        replicas=replicas,
+        rng=np.random.default_rng(int(spec.param("seed", "0"))),
+    )
+
+
+def _make_sensor_privacy(spec: ModuleSpec, env: UserEnvironment
+                         ) -> Middlebox:
+    from repro.middleboxes.sensor_privacy import SensorPrivacyGuard
+
+    return SensorPrivacyGuard()
+
+
+BUILTIN_REGISTRY: dict[str, BuiltinEntry] = {
+    "classifier": BuiltinEntry(
+        lambda spec, env: TrafficClassifier(),
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "tls_validator": BuiltinEntry(
+        _make_tls,
+        Capability.OBSERVE | Capability.BLOCK | Capability.REWRITE,
+    ),
+    "dns_validator": BuiltinEntry(
+        _make_dns,
+        Capability.OBSERVE | Capability.BLOCK | Capability.REWRITE,
+    ),
+    "pii_detector": BuiltinEntry(
+        _make_pii,
+        Capability.all(),
+    ),
+    "malware_detector": BuiltinEntry(
+        lambda spec, env: MalwareDetector(),
+        Capability.OBSERVE | Capability.BLOCK,
+    ),
+    "tcp_proxy": BuiltinEntry(
+        lambda spec, env: SplitTcpProxy(),
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "transcoder": BuiltinEntry(
+        lambda spec, env: Transcoder(quality=spec.param("quality", "medium")),
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "prefetcher": BuiltinEntry(
+        lambda spec, env: Prefetcher(),
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "tracker_blocker": BuiltinEntry(
+        _make_tracker,
+        Capability.OBSERVE | Capability.BLOCK,
+    ),
+    "compressor": BuiltinEntry(
+        lambda spec, env: CompressionProxy(),
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "encryptor": BuiltinEntry(
+        _make_encryptor,
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "decryptor": BuiltinEntry(
+        _make_decryptor,
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "replica_selector": BuiltinEntry(
+        _make_replica_selector,
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+    "sensor_privacy": BuiltinEntry(
+        _make_sensor_privacy,
+        Capability.OBSERVE | Capability.REWRITE,
+    ),
+}
+
+
+def builtin_services() -> set[str]:
+    return set(BUILTIN_REGISTRY)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledPvnc:
+    """The deployable form of a PVNC."""
+
+    pvnc: Pvnc
+    pvn_match: Match
+    placement_requests: tuple[PlacementRequest, ...]
+    chain_layout: tuple[tuple[str, tuple[str, ...]], ...]  # class -> services
+    terminals: tuple[tuple[str, str], ...]                 # class -> terminal
+    estimate: ResourceEstimate
+    per_packet_delay: float
+    capability_grants: tuple[tuple[str, Capability], ...]
+
+    @property
+    def deployment_services(self) -> tuple[str, ...]:
+        return tuple(req.service for req in self.placement_requests)
+
+    def terminal_for(self, traffic_class: str) -> str:
+        mapping = dict(self.terminals)
+        return mapping.get(traffic_class, mapping.get("default", "forward"))
+
+    def pipeline_for(self, traffic_class: str) -> tuple[str, ...]:
+        mapping = dict(self.chain_layout)
+        return mapping.get(traffic_class, mapping.get("default", ()))
+
+
+def compile_pvnc(
+    pvnc: Pvnc,
+    store_services: set[str] | None = None,
+    container_spec: ContainerSpec | None = None,
+    store_capabilities: dict[str, Capability] | None = None,
+) -> CompiledPvnc:
+    """Validate and compile ``pvnc``.
+
+    Raises :class:`~repro.errors.ConfigurationError` (via
+    :func:`ensure_valid`) on invalid configurations and
+    :class:`CompilationError` on compile-time problems.
+    """
+    ensure_valid(pvnc, builtin_services(), store_services)
+    container = container_spec or ContainerSpec()
+
+    used = pvnc.used_services()
+    # The classifier is implicit: every PVN chain starts with it.
+    services = ("classifier", *[s for s in used if s != "classifier"])
+
+    requests = []
+    for service in services:
+        spec = pvnc.module(service)
+        reuse = spec.allow_physical_reuse if spec is not None else False
+        requests.append(
+            PlacementRequest(
+                service=service,
+                memory_bytes=container.memory_bytes,
+                cpu_share=container.cpu_share,
+                allow_physical_reuse=reuse,
+            )
+        )
+
+    layout = tuple(
+        (rule.traffic_class, rule.pipeline) for rule in pvnc.class_rules
+    )
+    terminals = tuple(
+        (rule.traffic_class, rule.terminal) for rule in pvnc.class_rules
+    )
+
+    store_capabilities = store_capabilities or {}
+    grants = []
+    for service in services:
+        spec = pvnc.module(service)
+        if spec is not None and spec.source == SOURCE_STORE:
+            # Store modules get the capabilities their reviewed listing
+            # grants, defaulting to observe+rewrite.
+            grants.append((service, store_capabilities.get(
+                service, Capability.OBSERVE | Capability.REWRITE
+            )))
+        else:
+            entry = BUILTIN_REGISTRY.get(service)
+            if entry is None:
+                raise CompilationError(f"no registry entry for {service!r}")
+            grants.append((service, entry.capabilities))
+
+    longest = max((len(p) for _, p in layout), default=0)
+    estimate = ResourceEstimate(
+        containers=len(services),
+        memory_bytes=len(services) * container.memory_bytes,
+        cpu_shares=len(services) * container.cpu_share,
+    )
+    return CompiledPvnc(
+        pvnc=pvnc,
+        pvn_match=Match(owner=pvnc.user),
+        placement_requests=tuple(requests),
+        chain_layout=layout,
+        terminals=terminals,
+        estimate=estimate,
+        per_packet_delay=(longest + 1) * container.per_packet_delay,
+        capability_grants=tuple(grants),
+    )
+
+
+def build_middleboxes(
+    compiled: CompiledPvnc,
+    env: UserEnvironment,
+    store_factories: dict[str, Callable[[], Middlebox]] | None = None,
+) -> dict[str, Middlebox]:
+    """Instantiate one middlebox per deployed service."""
+    store_factories = store_factories or {}
+    boxes: dict[str, Middlebox] = {}
+    for service in compiled.deployment_services:
+        spec = compiled.pvnc.module(service)
+        if spec is not None and spec.source == SOURCE_STORE:
+            factory = store_factories.get(service)
+            if factory is None:
+                raise CompilationError(
+                    f"store module {service!r} has no installed factory"
+                )
+            boxes[service] = factory()
+            continue
+        entry = BUILTIN_REGISTRY.get(service)
+        if entry is None:
+            raise CompilationError(f"unknown service {service!r}")
+        boxes[service] = entry.factory(
+            spec or ModuleSpec.make(service), env
+        )
+    return boxes

@@ -1,0 +1,221 @@
+"""The user-readable PVNC language.
+
+§3.1: PVNCs are "created well before connecting to an access network,
+using high-level tools that compile user-readable configurations into
+low-level SDN code".  This is the user-readable half; the low-level
+half is :mod:`repro.core.pvnc.compiler`.
+
+Grammar (line-oriented; ``#`` comments)::
+
+    pvnc "<name>" for <user>
+    module <service> [key=value ...] [from=store] [reuse=yes|no]
+    class <traffic_class>: <svc> -> <svc> -> ... -> <terminal>
+    default: <terminal> | <svc> -> ... -> <terminal>
+    require <service> [<service> ...]
+    prefer <service> [<service> ...]
+    budget <max_price>
+    max-latency <milliseconds> ms
+
+Terminals: ``forward``, ``drop``, ``tunnel:<endpoint>``.
+
+Example::
+
+    pvnc "secure-roaming" for alice
+    module tls_validator mode=block
+    module transcoder quality=medium
+    module tcp_proxy reuse=yes
+    class https: tls_validator -> forward
+    class video_image: transcoder -> tcp_proxy -> forward
+    default: forward
+    require tls_validator
+    prefer transcoder
+    budget 5.0
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from repro.errors import ConfigurationError
+from repro.core.pvnc.model import (
+    ClassRule,
+    Constraints,
+    ModuleSpec,
+    Pvnc,
+    SOURCE_BUILTIN,
+    SOURCE_STORE,
+)
+
+_HEADER_RE = re.compile(r'^pvnc\s+"([^"]+)"\s+for\s+(\S+)$')
+
+
+class _ParserState:
+    def __init__(self) -> None:
+        self.name = ""
+        self.user = ""
+        self.modules: list[ModuleSpec] = []
+        self.rules: list[ClassRule] = []
+        self.required: list[str] = []
+        self.preferred: list[str] = []
+        self.max_price = float("inf")
+        self.max_added_latency = 0.010
+
+
+def parse_pvnc(text: str) -> Pvnc:
+    """Parse DSL ``text`` into a :class:`Pvnc`.
+
+    Raises :class:`ConfigurationError` with a line number on any
+    syntax or semantic problem.
+    """
+    state = _ParserState()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _parse_line(line, state)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"line {lineno}: {exc}") from exc
+
+    if not state.name:
+        raise ConfigurationError('missing \'pvnc "<name>" for <user>\' header')
+    _check_references(state)
+    return Pvnc(
+        user=state.user,
+        name=state.name,
+        modules=tuple(state.modules),
+        class_rules=tuple(state.rules),
+        constraints=Constraints(
+            required_services=tuple(state.required),
+            preferred_services=tuple(state.preferred),
+            max_price=state.max_price,
+            max_added_latency=state.max_added_latency,
+        ),
+    )
+
+
+def _parse_line(line: str, state: _ParserState) -> None:
+    header = _HEADER_RE.match(line)
+    if header:
+        state.name, state.user = header.groups()
+        return
+    keyword = line.split(None, 1)[0]
+    if keyword == "module":
+        state.modules.append(_parse_module(line))
+    elif keyword in ("class", "default:") or line.startswith("default"):
+        state.rules.append(_parse_class(line))
+    elif keyword == "require":
+        state.required.extend(line.split()[1:])
+    elif keyword == "prefer":
+        state.preferred.extend(line.split()[1:])
+    elif keyword == "budget":
+        state.max_price = _parse_float(line.split()[1], "budget")
+    elif keyword == "max-latency":
+        parts = line.split()
+        if len(parts) < 3 or parts[2] != "ms":
+            raise ConfigurationError("expected 'max-latency <n> ms'")
+        state.max_added_latency = _parse_float(parts[1], "max-latency") / 1000.0
+    else:
+        raise ConfigurationError(f"unknown directive {keyword!r}")
+
+
+def _parse_float(token: str, what: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise ConfigurationError(f"bad {what} value {token!r}") from None
+    if value < 0:
+        raise ConfigurationError(f"{what} must be >= 0")
+    return value
+
+
+def _parse_module(line: str) -> ModuleSpec:
+    tokens = shlex.split(line)
+    if len(tokens) < 2:
+        raise ConfigurationError("module needs a service name")
+    service = tokens[1]
+    params: dict[str, str] = {}
+    source = SOURCE_BUILTIN
+    reuse = False
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise ConfigurationError(f"module option {token!r} needs key=value")
+        key, _, value = token.partition("=")
+        if key == "from":
+            if value != "store":
+                raise ConfigurationError(f"unknown module source {value!r}")
+            source = SOURCE_STORE
+        elif key == "reuse":
+            if value not in ("yes", "no"):
+                raise ConfigurationError("reuse must be yes|no")
+            reuse = value == "yes"
+        else:
+            params[key] = value
+    return ModuleSpec.make(service, source=source,
+                           allow_physical_reuse=reuse, **params)
+
+
+def _parse_class(line: str) -> ClassRule:
+    head, _, rest = line.partition(":")
+    if not rest.strip():
+        raise ConfigurationError("class rule needs a pipeline after ':'")
+    head_tokens = head.split()
+    if head_tokens[0] == "default":
+        traffic_class = "default"
+    else:
+        if len(head_tokens) != 2:
+            raise ConfigurationError("expected 'class <name>: ...'")
+        traffic_class = head_tokens[1]
+    stages = [stage.strip() for stage in rest.split("->")]
+    if any(not stage for stage in stages):
+        raise ConfigurationError("empty pipeline stage (stray '->')")
+    terminal = stages[-1]
+    pipeline = tuple(stages[:-1])
+    return ClassRule(traffic_class=traffic_class, pipeline=pipeline,
+                     terminal=terminal)
+
+
+def _check_references(state: _ParserState) -> None:
+    declared = {spec.service for spec in state.modules}
+    for rule in state.rules:
+        for service in rule.pipeline:
+            if service not in declared:
+                raise ConfigurationError(
+                    f"class {rule.traffic_class!r} uses undeclared module "
+                    f"{service!r} (add a 'module {service}' line)"
+                )
+    for service in state.required + state.preferred:
+        if service not in declared:
+            raise ConfigurationError(
+                f"constraint references undeclared module {service!r}"
+            )
+
+
+def render_pvnc(pvnc: Pvnc) -> str:
+    """Render a :class:`Pvnc` back to DSL text (round-trippable)."""
+    lines = [f'pvnc "{pvnc.name}" for {pvnc.user}']
+    for spec in pvnc.modules:
+        parts = [f"module {spec.service}"]
+        parts.extend(f"{k}={v}" for k, v in spec.params)
+        if spec.source == SOURCE_STORE:
+            parts.append("from=store")
+        if spec.allow_physical_reuse:
+            parts.append("reuse=yes")
+        lines.append(" ".join(parts))
+    for rule in pvnc.class_rules:
+        chain = " -> ".join([*rule.pipeline, rule.terminal])
+        if rule.traffic_class == "default":
+            lines.append(f"default: {chain}")
+        else:
+            lines.append(f"class {rule.traffic_class}: {chain}")
+    if pvnc.constraints.required_services:
+        lines.append("require " + " ".join(pvnc.constraints.required_services))
+    if pvnc.constraints.preferred_services:
+        lines.append("prefer " + " ".join(pvnc.constraints.preferred_services))
+    if pvnc.constraints.max_price != float("inf"):
+        lines.append(f"budget {pvnc.constraints.max_price}")
+    lines.append(
+        f"max-latency {pvnc.constraints.max_added_latency * 1000:g} ms"
+    )
+    return "\n".join(lines) + "\n"

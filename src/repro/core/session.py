@@ -1,0 +1,181 @@
+"""One-call PVN session orchestration.
+
+:class:`PvnSession` wires a complete world — a PVN-supporting access
+provider, a device with trust material, a web PKI, DNS zones, origin
+content — and exposes the library's quickstart surface:
+
+>>> from repro import PvnSession, default_pvnc
+>>> session = PvnSession.build(seed=1)
+>>> outcome = session.connect(default_pvnc())
+>>> outcome.deployed
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.device import Device, PvnConnection
+from repro.core.provider import AccessProvider, DishonestyProfile, HONEST
+from repro.core.pvnc.compiler import UserEnvironment
+from repro.core.pvnc.dsl import parse_pvnc
+from repro.core.pvnc.model import Pvnc
+from repro.errors import NegotiationError
+from repro.netproto.dns import Resolver, TrustAnchor, Zone, ZoneSigner
+from repro.netproto.tls import make_web_pki
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+
+DEFAULT_PVNC_TEXT = '''
+pvnc "secure-roaming" for {user}
+module tls_validator mode=block
+module dns_validator
+module pii_detector mode=scrub
+module transcoder quality=medium
+module tcp_proxy reuse=yes
+class https: tls_validator -> forward
+class dns: dns_validator -> forward
+class web_text: pii_detector -> forward
+class video_image: transcoder -> tcp_proxy -> forward
+default: forward
+require tls_validator pii_detector
+prefer transcoder tcp_proxy
+budget 10.0
+max-latency 1 ms
+'''
+
+
+def default_pvnc(user: str = "alice") -> Pvnc:
+    """The canonical Fig. 1(a)-shaped configuration."""
+    return parse_pvnc(DEFAULT_PVNC_TEXT.format(user=user))
+
+
+@dataclasses.dataclass
+class SessionOutcome:
+    """Everything `connect` produced."""
+
+    deployed: bool
+    connection: PvnConnection | None = None
+    reason: str = ""
+
+    @property
+    def deployment_id(self) -> str:
+        return self.connection.deployment_id if self.connection else ""
+
+    @property
+    def price_paid(self) -> float:
+        return self.connection.price_paid if self.connection else 0.0
+
+
+class PvnSession:
+    """A ready-to-use PVN world."""
+
+    def __init__(
+        self,
+        provider: AccessProvider,
+        device: Device,
+        sim: Simulator,
+    ) -> None:
+        self.provider = provider
+        self.device = device
+        self.sim = sim
+        self.extra_providers: list[AccessProvider] = []
+
+    @classmethod
+    def build(
+        cls,
+        seed: int = 0,
+        user: str = "alice",
+        dishonesty: DishonestyProfile = HONEST,
+        supports_pvn: bool = True,
+    ) -> "PvnSession":
+        """Construct the canonical single-provider world."""
+        sim = Simulator()
+        provider = AccessProvider(
+            "isp-a", sim=sim, dishonesty=dishonesty,
+            supports_pvn=supports_pvn, seed=seed,
+        )
+
+        now = sim.now
+        _, trust_store, servers = make_web_pki(
+            now, ["bank.example.com", "news.example.com"]
+        )
+        signer = ZoneSigner("example.com", key=b"zone:example.com")
+        zone = Zone("example.com", signer=signer)
+        zone.add("bank.example.com", "A", "198.51.100.5")
+        zone.add("news.example.com", "A", "198.51.100.6")
+        anchor = TrustAnchor()
+        anchor.add_zone("example.com", b"zone:example.com")
+        open_resolvers = [Resolver(f"open{i}", [zone]) for i in range(3)]
+
+        env = UserEnvironment(
+            trust_store=trust_store,
+            trust_anchor=anchor,
+            open_resolvers=open_resolvers,
+        )
+        device = Device(user=user, mac="aa:bb:cc:00:00:01", env=env)
+        provider.serve_content(
+            "http://news.example.com/front", b"<html>front page</html>"
+        )
+        session = cls(provider=provider, device=device, sim=sim)
+        session.tls_servers = servers
+        return session
+
+    def add_provider(self, provider: AccessProvider) -> None:
+        """Add a second provider to the discovery zone."""
+        self.extra_providers.append(provider)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def connect(self, pvnc: Pvnc,
+                strategy: str = "best_of_zone") -> SessionOutcome:
+        """Attach, discover, negotiate, deploy, verify."""
+        providers = [self.provider, *self.extra_providers]
+        supported = self.device.attach(self.provider)
+        if not supported and not self.extra_providers:
+            return SessionOutcome(
+                deployed=False,
+                reason="access network does not support PVNs; "
+                       "use tunneling fallback (repro.core.tunneling)",
+            )
+        try:
+            connection = self.device.establish_pvn(providers, pvnc,
+                                                   strategy=strategy)
+        except NegotiationError as exc:
+            return SessionOutcome(deployed=False, reason=str(exc))
+        return SessionOutcome(deployed=True, connection=connection,
+                              reason="deployed")
+
+    def send(self, packet: Packet):
+        """Run one packet through the device's live PVN data path."""
+        if self.device.connection is None:
+            raise NegotiationError("connect() first")
+        deployment = self.device.connection.deployment
+        return deployment.datapath.process(packet, now=self.sim.now)
+
+    def audit(self, trials: int = 3) -> list[str]:
+        """Run the device's audit battery; returns violated test names."""
+        return self.device.audit(trials=trials)
+
+    def fallback_tunnel(self, endpoint: str = "cloud"):
+        """The §3.3 unavailability fallback: a full tunnel from this
+        device through the access network to a remote PVN location.
+
+        Returns a :class:`~repro.core.tunneling.vpn.FullTunnel` over
+        the provider's topology; callers use its ``effective_path`` to
+        run traffic models against the tunneled deployment.
+        """
+        from repro.core.tunneling import FullTunnel
+
+        if self.device.node_name not in self.provider.topo.graph:
+            self.provider.attach_device(self.device.node_name)
+        return FullTunnel(
+            self.provider.topo, self.device.node_name, endpoint
+        )
+
+    def teardown(self) -> None:
+        if self.device.connection is not None:
+            self.provider.manager.teardown(
+                self.device.connection.deployment_id
+            )
+            self.device.connection = None

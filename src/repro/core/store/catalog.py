@@ -1,0 +1,132 @@
+"""The PVN Store (§3.1).
+
+"To make PVNs accessible to a general audience instead of only
+networking experts, we propose building a 'PVN Store' akin to an app-
+or browser-extension marketplace."  Developers publish signed modules
+(malware detectors, web optimizers, tracker blockers...); the store
+reviews and countersigns; devices browse, purchase, and install.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable
+
+from repro.core.store.signing import (
+    ModuleSignatureBundle,
+    SigningKey,
+    sign_module,
+    verify_bundle,
+)
+from repro.errors import StoreError
+from repro.nfv.middlebox import Middlebox
+from repro.nfv.sandbox import Capability
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreListing:
+    """One published module version."""
+
+    service: str
+    version: str
+    developer: str
+    price: float
+    description: str
+    capabilities: Capability
+    factory: Callable[[], Middlebox]
+    signatures: ModuleSignatureBundle
+    downloads: int = 0
+
+    @property
+    def listing_id(self) -> str:
+        return f"{self.service}@{self.version}"
+
+
+def module_digest(service: str, version: str, developer: str) -> bytes:
+    """Stable digest of a module's identifying content."""
+    return hashlib.sha256(f"{service}|{version}|{developer}".encode()).digest()
+
+
+class PvnStore:
+    """A marketplace of reviewed, signed middlebox modules."""
+
+    def __init__(self, store_key: SigningKey) -> None:
+        self.store_key = store_key
+        self._developer_keys: dict[str, SigningKey] = {}
+        self._listings: dict[str, StoreListing] = {}   # listing_id -> listing
+        self.revenue = 0.0
+
+    # -- developer side ---------------------------------------------------
+
+    def register_developer(self, key: SigningKey) -> None:
+        self._developer_keys[key.name] = key
+
+    def publish(
+        self,
+        service: str,
+        version: str,
+        developer: SigningKey,
+        factory: Callable[[], Middlebox],
+        price: float = 0.0,
+        description: str = "",
+        capabilities: Capability = Capability.OBSERVE | Capability.REWRITE,
+    ) -> StoreListing:
+        """Publish a module; the store reviews and countersigns it."""
+        if developer.name not in self._developer_keys:
+            raise StoreError(f"developer {developer.name!r} not registered")
+        if price < 0:
+            raise StoreError("price must be >= 0")
+        digest = module_digest(service, version, developer.name)
+        bundle = sign_module(digest, developer).with_store_signature(
+            self.store_key
+        )
+        listing = StoreListing(
+            service=service, version=version, developer=developer.name,
+            price=price, description=description,
+            capabilities=capabilities, factory=factory, signatures=bundle,
+        )
+        self._listings[listing.listing_id] = listing
+        return listing
+
+    # -- device side ----------------------------------------------------------
+
+    def search(self, service: str) -> list[StoreListing]:
+        """All versions of a service, newest version string last."""
+        return sorted(
+            (l for l in self._listings.values() if l.service == service),
+            key=lambda l: l.version,
+        )
+
+    def latest(self, service: str) -> StoreListing:
+        listings = self.search(service)
+        if not listings:
+            raise StoreError(f"no module named {service!r} in the store")
+        return listings[-1]
+
+    @property
+    def services(self) -> set[str]:
+        return {l.service for l in self._listings.values()}
+
+    def install(self, service: str, budget: float = float("inf")
+                ) -> tuple[Callable[[], Middlebox], Capability, float]:
+        """Verify signatures, charge the price, return the factory.
+
+        Returns ``(factory, capability_grant, price_paid)``.
+        """
+        listing = self.latest(service)
+        verify_bundle(listing.signatures, self._developer_keys, self.store_key)
+        expected = module_digest(listing.service, listing.version,
+                                 listing.developer)
+        if listing.signatures.content_digest != expected:
+            raise StoreError(f"listing {listing.listing_id} digest mismatch")
+        if listing.price > budget:
+            raise StoreError(
+                f"{listing.listing_id} costs {listing.price}, "
+                f"budget is {budget}"
+            )
+        self.revenue += listing.price
+        self._listings[listing.listing_id] = dataclasses.replace(
+            listing, downloads=listing.downloads + 1
+        )
+        return listing.factory, listing.capabilities, listing.price

@@ -1,0 +1,86 @@
+"""Module signing for the PVN Store.
+
+Developers sign the modules they publish; the store countersigns what
+it reviews; devices verify both before installing.  Signing is
+HMAC-SHA256 with per-party keys (the simulation's stand-in for
+public-key signatures — possession of the key is what matters to the
+experiments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+
+from repro.errors import ModuleSignatureError
+
+
+def _sign(key: bytes, payload: bytes) -> bytes:
+    return hmac.new(key, payload, hashlib.sha256).digest()
+
+
+@dataclasses.dataclass(frozen=True)
+class SigningKey:
+    """A named signing identity."""
+
+    name: str
+    key: bytes
+
+    def sign(self, payload: bytes) -> bytes:
+        return _sign(self.key, payload)
+
+    def verify(self, payload: bytes, signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(payload), signature)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleSignatureBundle:
+    """Developer + store signatures over a module's content digest."""
+
+    content_digest: bytes
+    developer: str
+    developer_signature: bytes
+    store_signature: bytes = b""
+
+    def with_store_signature(self, store_key: SigningKey
+                             ) -> "ModuleSignatureBundle":
+        return dataclasses.replace(
+            self,
+            store_signature=store_key.sign(
+                self.content_digest + self.developer_signature
+            ),
+        )
+
+
+def sign_module(content_digest: bytes, developer: SigningKey
+                ) -> ModuleSignatureBundle:
+    """The developer's publication signature."""
+    return ModuleSignatureBundle(
+        content_digest=content_digest,
+        developer=developer.name,
+        developer_signature=developer.sign(content_digest),
+    )
+
+
+def verify_bundle(
+    bundle: ModuleSignatureBundle,
+    developer_keys: dict[str, SigningKey],
+    store_key: SigningKey,
+) -> None:
+    """Raise :class:`ModuleSignatureError` unless both signatures hold."""
+    developer = developer_keys.get(bundle.developer)
+    if developer is None:
+        raise ModuleSignatureError(
+            f"unknown developer {bundle.developer!r}"
+        )
+    if not developer.verify(bundle.content_digest,
+                            bundle.developer_signature):
+        raise ModuleSignatureError(
+            f"developer signature invalid for {bundle.developer!r}"
+        )
+    if not store_key.verify(
+        bundle.content_digest + bundle.developer_signature,
+        bundle.store_signature,
+    ):
+        raise ModuleSignatureError("store signature invalid or missing")

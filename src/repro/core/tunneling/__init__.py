@@ -1,0 +1,35 @@
+"""Tunneling: full-VPN baseline, selective redirection, endpoint selection."""
+
+from repro.core.tunneling.selection import (
+    EndpointCandidate,
+    EndpointScore,
+    SelectionResult,
+    select_endpoint,
+)
+from repro.core.tunneling.selective import (
+    RedirectRule,
+    SelectiveRedirector,
+    is_sensitive_destination,
+    needs_tls_interception,
+)
+from repro.core.tunneling.vpn import (
+    ENCAP_OVERHEAD_BYTES,
+    FullTunnel,
+    TunnelCosts,
+    direct_path,
+)
+
+__all__ = [
+    "ENCAP_OVERHEAD_BYTES",
+    "EndpointCandidate",
+    "EndpointScore",
+    "FullTunnel",
+    "RedirectRule",
+    "SelectionResult",
+    "SelectiveRedirector",
+    "TunnelCosts",
+    "direct_path",
+    "is_sensitive_destination",
+    "needs_tls_interception",
+    "select_endpoint",
+]

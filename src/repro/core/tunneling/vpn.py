@@ -1,0 +1,122 @@
+"""Full-tunnel VPN baseline (§2, §3.2).
+
+"There are tunneling overheads in terms of additional interdomain
+traffic and its associated latency; e.g., 10s of ms for well connected
+networks, but potentially 100s of ms for poorly connected networks.
+Second, the tunneled traffic may be subject to policies (e.g.,
+shaping) that do not apply to untunneled traffic.  Last, port blocking
+and service unavailability can also impact the effectiveness of such
+solutions."
+
+:class:`FullTunnel` models all three costs so the E2 experiment can
+compare in-network PVNs against tunneling to cloud/home deployments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TunnelError
+from repro.netsim.tcp import PathCharacteristics
+from repro.netsim.topology import PhysicalTopology
+
+#: IPsec-ish per-packet encapsulation overhead.
+ENCAP_OVERHEAD_BYTES = 73
+
+
+@dataclasses.dataclass(frozen=True)
+class TunnelCosts:
+    """The §3.2 cost model for one tunnel."""
+
+    added_rtt: float                 # detour latency, round trip
+    encap_overhead_bytes: int = ENCAP_OVERHEAD_BYTES
+    shaped_to_bps: float = 0.0       # 0 = no shaping of tunneled traffic
+    port_blocked: bool = False       # VPN port blocked on this network
+
+
+class FullTunnel:
+    """A device-to-remote-network tunnel over a physical topology."""
+
+    def __init__(
+        self,
+        topo: PhysicalTopology,
+        device_node: str,
+        endpoint_node: str,
+        gateway_node: str = "gw",
+        shaped_to_bps: float = 0.0,
+        port_blocked: bool = False,
+    ) -> None:
+        for node in (device_node, endpoint_node, gateway_node):
+            if node not in topo.graph:
+                raise TunnelError(f"unknown topology node {node!r}")
+        self.topo = topo
+        self.device_node = device_node
+        self.endpoint_node = endpoint_node
+        self.gateway_node = gateway_node
+        self.shaped_to_bps = shaped_to_bps
+        self.port_blocked = port_blocked
+
+    def costs(self) -> TunnelCosts:
+        """Detour RTT vs the direct device->gateway path."""
+        direct = self.topo.rtt(self.device_node, self.gateway_node)
+        via = (
+            self.topo.rtt(self.device_node, self.endpoint_node)
+            + self.topo.rtt(self.endpoint_node, self.gateway_node)
+        )
+        return TunnelCosts(
+            added_rtt=max(0.0, via - direct),
+            shaped_to_bps=self.shaped_to_bps,
+            port_blocked=self.port_blocked,
+        )
+
+    def effective_path(
+        self, destination_node: str, loss_rate: float = 0.0
+    ) -> PathCharacteristics:
+        """The path the device actually experiences to ``destination``
+        when all traffic hairpins through the tunnel endpoint."""
+        if self.port_blocked:
+            raise TunnelError(
+                f"tunnel to {self.endpoint_node} blocked by the access "
+                "network (VPN port filtered)"
+            )
+        rtt = (
+            self.topo.rtt(self.device_node, self.endpoint_node)
+            + self.topo.rtt(self.endpoint_node, destination_node)
+        )
+        leg1 = self.topo.shortest_path(self.device_node, self.endpoint_node)
+        leg2 = self.topo.shortest_path(self.endpoint_node, destination_node)
+        bandwidth = min(
+            self.topo.path_bottleneck_bps(leg1),
+            self.topo.path_bottleneck_bps(leg2),
+        )
+        if self.shaped_to_bps > 0:
+            bandwidth = min(bandwidth, self.shaped_to_bps)
+        path_loss = 1.0 - (
+            (1.0 - self.topo.path_loss_rate(leg1))
+            * (1.0 - self.topo.path_loss_rate(leg2))
+            * (1.0 - loss_rate)
+        )
+        return PathCharacteristics(
+            rtt=rtt, loss_rate=path_loss, bandwidth_bps=bandwidth
+        )
+
+    def goodput_fraction(self, mtu: int = 1500) -> float:
+        """Payload fraction after encapsulation overhead."""
+        return (mtu - ENCAP_OVERHEAD_BYTES) / mtu
+
+
+def direct_path(
+    topo: PhysicalTopology,
+    device_node: str,
+    destination_node: str,
+    loss_rate: float = 0.0,
+) -> PathCharacteristics:
+    """The untunneled baseline path for the same topology."""
+    route = topo.shortest_path(device_node, destination_node)
+    return PathCharacteristics(
+        rtt=topo.rtt(device_node, destination_node),
+        loss_rate=1.0 - (1.0 - topo.path_loss_rate(route)) * (1.0 - loss_rate),
+        bandwidth_bps=topo.path_bottleneck_bps(route),
+    )

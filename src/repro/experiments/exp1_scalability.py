@@ -1,0 +1,115 @@
+"""E1 — §3.3 "Scalability and overhead".
+
+"The PVN abstraction will be effective only if it can scale to serve
+potentially large numbers of subscribers with overhead that is
+negligible relative to non-PVN connections.  We argue that this is
+feasible, e.g., recent work has shown that containers can be
+instantiated in 30 milliseconds, add only 45 microseconds of delay,
+and consume only 6 MB of memory."
+
+Sweep the subscriber count, deploying one canonical 6-module PVN per
+subscriber onto the provider's NFV tier, and report: instantiation
+latency (constant — containers start in parallel), aggregate memory,
+per-packet added delay, the added delay as a fraction of a typical
+wireless RTT (the "negligible overhead" claim), and where admission
+starts rejecting.
+"""
+
+from __future__ import annotations
+
+from repro.core.deployment.embedding import estimate_max_subscribers
+from repro.core.pvnc import compile_pvnc
+from repro.core.session import default_pvnc
+from repro.experiments.harness import ExperimentResult, main
+from repro.nfv.container import Container, ContainerSpec
+from repro.nfv.hypervisor import HostCapacity, NfvHost
+from repro.nfv.middlebox import Middlebox
+
+#: A typical wireless access RTT the overhead is judged against.
+TYPICAL_RTT = 0.030
+
+
+def run(
+    seed: int = 0,
+    subscriber_counts: tuple[int, ...] = (1, 10, 100, 500, 1000, 2000),
+    n_hosts: int = 2,
+    host_memory_bytes: int = 8_000_000_000,
+    host_cpu_cores: float = 400.0,
+) -> ExperimentResult:
+    compiled = compile_pvnc(default_pvnc())
+    spec = ContainerSpec(cpu_share=0.05)
+    per_user_containers = compiled.estimate.containers
+    per_user_memory = per_user_containers * spec.memory_bytes
+
+    rows = []
+    metrics: dict[str, float] = {
+        "instantiation_ms": spec.instantiation_time * 1e3,
+        "per_packet_delay_us": compiled.per_packet_delay * 1e6,
+        "per_user_memory_mb": per_user_memory / 1e6,
+        "overhead_fraction_of_rtt": compiled.per_packet_delay / TYPICAL_RTT,
+    }
+    for count in subscriber_counts:
+        hosts = [
+            NfvHost(f"nfv{i}", HostCapacity(host_memory_bytes, host_cpu_cores))
+            for i in range(n_hosts)
+        ]
+        admitted = 0
+        for user_index in range(count):
+            containers = [
+                Container(Middlebox(f"u{user_index}.m{m}"), spec=spec,
+                          owner=f"user{user_index}")
+                for m in range(per_user_containers)
+            ]
+            target = hosts[user_index % n_hosts]
+            need_memory = sum(c.spec.memory_bytes for c in containers)
+            need_cpu = sum(c.spec.cpu_share for c in containers)
+            fits = (
+                target.memory_in_use + need_memory
+                <= target.capacity.memory_bytes
+                and target.cpu_in_use + need_cpu <= target.capacity.cpu_cores
+            )
+            if fits:
+                for container in containers:
+                    target.launch(container, now=0.0)
+                admitted += 1
+        memory_total = sum(h.memory_in_use for h in hosts)
+        rows.append((
+            count,
+            admitted,
+            count - admitted,
+            spec.instantiation_time * 1e3,
+            compiled.per_packet_delay * 1e6,
+            memory_total / 1e9,
+            f"{100 * compiled.per_packet_delay / TYPICAL_RTT:.2f}%",
+        ))
+        metrics[f"admitted_at_{count}"] = float(admitted)
+
+    fresh_hosts = {
+        f"nfv{i}": NfvHost(f"nfv{i}",
+                           HostCapacity(host_memory_bytes, host_cpu_cores))
+        for i in range(n_hosts)
+    }
+    metrics["max_subscribers"] = float(estimate_max_subscribers(
+        fresh_hosts,
+        per_user_memory=per_user_memory,
+        per_user_cpu=per_user_containers * spec.cpu_share,
+    ))
+    return ExperimentResult(
+        experiment_id="E1",
+        title="§3.3 scalability: per-subscriber PVNs on the NFV tier",
+        columns=["subscribers", "admitted", "rejected",
+                 "instantiation (ms)", "added delay (us)",
+                 "memory (GB)", "delay vs 30ms RTT"],
+        rows=rows,
+        metrics=metrics,
+        notes=[
+            "containers instantiate in parallel: setup latency stays at "
+            "the 30ms the paper cites regardless of subscriber count",
+            "added per-packet delay is (pipeline length+1) x 45us — well "
+            "under 1% of a typical wireless RTT (the 'negligible' claim)",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(run)

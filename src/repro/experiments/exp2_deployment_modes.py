@@ -1,0 +1,138 @@
+"""E2 — §3.2 "Why not in the cloud or in home networks?".
+
+"There are tunneling overheads in terms of additional interdomain
+traffic and its associated latency; e.g., 10s of ms for well connected
+networks, but potentially 100s of ms for poorly connected networks."
+
+Compare page-load time for the same page over four deployments —
+direct (no protection), in-network PVN, VPN to a cloud deployment, VPN
+to a home deployment — on a well-connected and a poorly-connected
+access network.  The PVN pays microseconds of chain delay; the
+tunnels pay the full hairpin on every round trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.core.pvnc import compile_pvnc
+from repro.core.session import default_pvnc
+from repro.core.tunneling import FullTunnel, direct_path
+from repro.experiments.harness import ExperimentResult, main
+from repro.netsim.flows import page_load_time, synth_page
+from repro.netsim.topology import attach_device, build_access_network, build_wide_area
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessQuality:
+    """One access-network quality scenario."""
+
+    label: str
+    cloud_rtt: float
+    home_rtt: float
+    wireless_loss: float
+
+
+WELL_CONNECTED = AccessQuality("well-connected", cloud_rtt=0.030,
+                               home_rtt=0.050, wireless_loss=0.002)
+POORLY_CONNECTED = AccessQuality("poorly-connected", cloud_rtt=0.180,
+                                 home_rtt=0.250, wireless_loss=0.01)
+
+
+def _world(quality: AccessQuality):
+    topo = build_wide_area(build_access_network(),
+                           cloud_rtt=quality.cloud_rtt,
+                           home_rtt=quality.home_rtt)
+    attach_device(topo, "dev", loss_rate=quality.wireless_loss)
+    return topo
+
+
+def run(seed: int = 0, n_pages: int = 12) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    chain_delay = compile_pvnc(default_pvnc()).per_packet_delay
+
+    rows = []
+    metrics: dict[str, float] = {"pvn_chain_delay_us": chain_delay * 1e6}
+    for quality in (WELL_CONNECTED, POORLY_CONNECTED):
+        topo = _world(quality)
+        paths = {
+            "direct": (direct_path(topo, "dev", "origin",
+                                   loss_rate=quality.wireless_loss), 0.0),
+            "pvn (in-network)": (
+                direct_path(topo, "dev", "origin",
+                            loss_rate=quality.wireless_loss),
+                chain_delay,
+            ),
+            "vpn->cloud": (
+                FullTunnel(topo, "dev", "cloud").effective_path(
+                    "origin", loss_rate=quality.wireless_loss),
+                0.0,
+            ),
+            "vpn->home": (
+                FullTunnel(topo, "dev", "home").effective_path(
+                    "origin", loss_rate=quality.wireless_loss),
+                0.0,
+            ),
+            # §3.2's second cost: "the tunneled traffic may be subject
+            # to policies (e.g., shaping) that do not apply to
+            # untunneled traffic".
+            "vpn->cloud (shaped)": (
+                FullTunnel(topo, "dev", "cloud",
+                           shaped_to_bps=2e6).effective_path(
+                    "origin", loss_rate=quality.wireless_loss),
+                0.0,
+            ),
+        }
+        direct_mean = None
+        for mode, (path, overhead) in paths.items():
+            samples = []
+            for page_index in range(n_pages):
+                page = synth_page(np.random.default_rng(seed * 1000 + page_index))
+                samples.append(page_load_time(
+                    page, path,
+                    np.random.default_rng(seed * 2000 + page_index),
+                    per_request_overhead=overhead,
+                ))
+            summary = summarize(samples)
+            if mode == "direct":
+                direct_mean = summary.mean
+            slowdown = summary.mean / direct_mean if direct_mean else 1.0
+            rows.append((
+                quality.label, mode,
+                path.rtt * 1e3,
+                summary.mean, summary.median,
+                f"x{slowdown:.2f}",
+            ))
+            mode_key = (mode.replace("->", "_").replace(" ", "_")
+                        .replace("(", "").replace(")", ""))
+            if mode_key.endswith("_in-network"):
+                mode_key = "pvn"
+            key = f"{quality.label.split('-')[0]}_{mode_key}"
+            metrics[f"plt_{key}"] = summary.mean
+    metrics["pvn_vs_direct_well"] = (
+        metrics["plt_well_pvn"] / metrics["plt_well_direct"]
+    )
+    metrics["cloud_vs_direct_poor"] = (
+        metrics["plt_poorly_vpn_cloud"] / metrics["plt_poorly_direct"]
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="§3.2 deployment modes: page-load time by enforcement point",
+        columns=["access", "mode", "path RTT (ms)", "mean PLT (s)",
+                 "median PLT (s)", "vs direct"],
+        rows=rows,
+        metrics=metrics,
+        notes=[
+            "in-network PVN adds only middlebox chain delay (~us); "
+            "cloud/home VPNs pay the hairpin on every object fetch",
+            "the penalty explodes on poorly connected access — the "
+            "paper's '10s of ms ... 100s of ms' argument",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(run)

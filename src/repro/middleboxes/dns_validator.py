@@ -1,0 +1,132 @@
+"""DNS validation middlebox (§4).
+
+"Even if the ISP does not support DNSSEC, a PVN DNSSEC module can
+provide secure DNS resolution on behalf of the user.  Further, when
+accessing name entries that are not secured, the PVN can use a
+collection of open resolvers to ensure that clients are not maliciously
+sent to invalid addresses for a name."
+
+The module inspects :class:`~repro.netproto.dns.DnsResponse` payloads:
+
+1. names in zones the trust anchor covers must carry valid signatures
+   (otherwise: drop and, when possible, substitute the validated
+   answer);
+2. unsigned names are cross-checked against open resolvers; answers
+   that lose the majority vote are replaced or dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.netproto.dns import (
+    DnsQuery,
+    DnsResponse,
+    Resolver,
+    ResourceRecord,
+    TrustAnchor,
+    cross_check,
+)
+from repro.netsim.packet import Packet
+from repro.nfv.middlebox import Middlebox, ProcessingContext, Verdict
+
+
+class DnsValidator(Middlebox):
+    """Signature validation + open-resolver cross-checking."""
+
+    service = "dns_validator"
+
+    def __init__(
+        self,
+        trust_anchor: TrustAnchor,
+        open_resolvers: list[Resolver] | None = None,
+        substitute_correct_answer: bool = True,
+        name: str = "dns_validator",
+    ) -> None:
+        super().__init__(name)
+        self.trust_anchor = trust_anchor
+        self.open_resolvers = list(open_resolvers or [])
+        self.substitute_correct_answer = substitute_correct_answer
+        self.responses_seen = 0
+        self.forgeries_blocked = 0
+        self.forgeries_corrected = 0
+        self.cross_checks_run = 0
+
+    def inspect(self, packet: Packet, context: ProcessingContext) -> Verdict:
+        response = packet.payload
+        if not isinstance(response, DnsResponse):
+            return Verdict.passed("not a DNS response")
+        self.responses_seen += 1
+        if response.nxdomain:
+            return Verdict.passed("nxdomain")
+
+        name = response.query.name
+        if self.trust_anchor.knows_zone_for(name):
+            return self._validate_signed(packet, response, context)
+        return self._cross_check_unsigned(packet, response, context)
+
+    # -- signed path ---------------------------------------------------------
+
+    def _validate_signed(
+        self, packet: Packet, response: DnsResponse,
+        context: ProcessingContext,
+    ) -> Verdict:
+        if all(self.trust_anchor.verify(r) for r in response.records):
+            return Verdict.passed("dnssec valid")
+        context.emit("dns_validator", self.name,
+                     name=response.query.name, outcome="signature_invalid")
+        return self._reject(packet, response, "invalid DNSSEC signature")
+
+    # -- unsigned path ----------------------------------------------------------
+
+    def _cross_check_unsigned(
+        self, packet: Packet, response: DnsResponse,
+        context: ProcessingContext,
+    ) -> Verdict:
+        if not self.open_resolvers:
+            return Verdict.passed("unsigned, no open resolvers configured")
+        self.cross_checks_run += 1
+        majority, votes = cross_check(
+            DnsQuery(response.query.name, response.query.rtype),
+            self.open_resolvers,
+        )
+        answer = response.first_value()
+        if majority is None or answer == majority:
+            return Verdict.passed("cross-check agreed")
+        context.emit("dns_validator", self.name,
+                     name=response.query.name, outcome="cross_check_mismatch",
+                     got=answer, majority=majority, votes=str(votes))
+        return self._reject(packet, response, "cross-check mismatch",
+                            corrected_value=majority)
+
+    def _reject(
+        self,
+        packet: Packet,
+        response: DnsResponse,
+        reason: str,
+        corrected_value: str | None = None,
+    ) -> Verdict:
+        """Either substitute the verified answer or drop the response."""
+        if self.substitute_correct_answer and corrected_value is None:
+            corrected_value = self._resolve_validated(response.query)
+        if self.substitute_correct_answer and corrected_value is not None:
+            corrected = ResourceRecord(
+                response.query.name, response.query.rtype, corrected_value
+            )
+            packet.payload = dataclasses.replace(
+                response, records=(corrected,)
+            )
+            self.forgeries_corrected += 1
+            return Verdict.rewritten(f"{reason}; substituted validated answer",
+                                     corrected=corrected_value)
+        self.forgeries_blocked += 1
+        return Verdict.dropped(reason)
+
+    def _resolve_validated(self, query: DnsQuery) -> str | None:
+        """Ask open resolvers for an answer that verifies."""
+        for resolver in self.open_resolvers:
+            candidate = resolver.resolve(DnsQuery(query.name, query.rtype))
+            for record in candidate.records:
+                if record.rtype == query.rtype and self.trust_anchor.verify(record):
+                    return record.value
+        return None

@@ -1,0 +1,88 @@
+"""IPv4 and MAC address helpers.
+
+We use plain strings for addresses throughout the simulator (they are
+human-readable in traces) and these functions for the few operations
+that need numeric form: subnet membership, allocation, and validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AddressError
+
+
+def ip_to_int(ip: str) -> int:
+    """Dotted-quad string to 32-bit integer."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"invalid IPv4 address {ip!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise AddressError(f"invalid IPv4 address {ip!r}") from None
+        if not 0 <= octet <= 255:
+            raise AddressError(f"invalid IPv4 address {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit integer to dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise AddressError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_cidr(cidr: str) -> tuple[int, int]:
+    """``"10.0.0.0/8"`` -> ``(network_int, prefix_len)``."""
+    if "/" in cidr:
+        base, _, plen_text = cidr.partition("/")
+        try:
+            prefix_len = int(plen_text)
+        except ValueError:
+            raise AddressError(f"invalid prefix length in {cidr!r}") from None
+    else:
+        base, prefix_len = cidr, 32
+    if not 0 <= prefix_len <= 32:
+        raise AddressError(f"prefix length out of range in {cidr!r}")
+    mask = 0 if prefix_len == 0 else (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+    return ip_to_int(base) & mask, prefix_len
+
+
+def ip_in_subnet(ip: str, cidr: str) -> bool:
+    """True if ``ip`` falls inside ``cidr``."""
+    network, prefix_len = parse_cidr(cidr)
+    mask = 0 if prefix_len == 0 else (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+    return (ip_to_int(ip) & mask) == network
+
+
+@dataclasses.dataclass
+class SubnetAllocator:
+    """Hands out sequential host addresses from a CIDR block.
+
+    Used by the simulated DHCP server (and by the PVN deployment's
+    address refresh after a PVNC is installed).
+    """
+
+    cidr: str
+    _next_offset: int = 1
+
+    def __post_init__(self) -> None:
+        self._network, self._prefix_len = parse_cidr(self.cidr)
+        self._capacity = 2 ** (32 - self._prefix_len)
+
+    def allocate(self) -> str:
+        """The next unused host address in the block."""
+        # Offset 0 is the network address; the top address is broadcast.
+        if self._next_offset >= self._capacity - 1:
+            raise AddressError(f"subnet {self.cidr} exhausted")
+        ip = int_to_ip(self._network + self._next_offset)
+        self._next_offset += 1
+        return ip
+
+    @property
+    def allocated_count(self) -> int:
+        return self._next_offset - 1

@@ -1,0 +1,231 @@
+"""RFC 1035 wire format for the DNS model.
+
+Byte-level serialisation bridging :mod:`repro.netproto.dns`'s object
+model to real message framing: the 12-byte header, QNAME label
+encoding, and resource records.  Encoding never emits compression
+pointers; decoding accepts them (so captures from compressing
+resolvers parse).
+
+Signatures from :class:`~repro.netproto.dns.ZoneSigner` travel as an
+RRSIG-like record (type 46) whose RDATA is the raw MAC, letting a
+signed response round-trip through bytes without losing its proof.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import ProtocolError
+from repro.netproto.addresses import int_to_ip, ip_to_int
+from repro.netproto.dns import DnsQuery, DnsResponse, ResourceRecord
+
+TYPE_A = 1
+TYPE_CNAME = 5
+TYPE_RRSIG = 46
+CLASS_IN = 1
+
+_TYPE_BY_NAME = {"A": TYPE_A, "CNAME": TYPE_CNAME}
+_NAME_BY_TYPE = {v: k for k, v in _TYPE_BY_NAME.items()}
+
+FLAG_QR = 0x8000          # response
+FLAG_RD = 0x0100          # recursion desired
+FLAG_RA = 0x0080          # recursion available
+RCODE_NXDOMAIN = 3
+
+MAX_LABEL = 63
+MAX_NAME = 255
+
+
+def encode_name(name: str) -> bytes:
+    """Dotted name -> length-prefixed labels (no compression)."""
+    if name.endswith("."):
+        name = name[:-1]
+    out = bytearray()
+    if name:
+        for label in name.split("."):
+            raw = label.encode("ascii")
+            if not raw:
+                raise ProtocolError(f"empty label in {name!r}")
+            if len(raw) > MAX_LABEL:
+                raise ProtocolError(f"label too long in {name!r}")
+            out.append(len(raw))
+            out.extend(raw)
+    out.append(0)
+    if len(out) > MAX_NAME:
+        raise ProtocolError(f"name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next_offset)."""
+    labels: list[str] = []
+    jumps = 0
+    next_offset: int | None = None
+    while True:
+        if offset >= len(data):
+            raise ProtocolError("truncated name")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise ProtocolError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if next_offset is None:
+                next_offset = offset + 2
+            offset = pointer
+            jumps += 1
+            if jumps > 32:
+                raise ProtocolError("compression pointer loop")
+            continue
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(data):
+            raise ProtocolError("truncated label")
+        labels.append(data[offset:offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), (next_offset if next_offset is not None
+                              else offset)
+
+
+def _encode_rdata(record: ResourceRecord) -> tuple[int, bytes]:
+    if record.rtype == "A":
+        return TYPE_A, struct.pack("!I", ip_to_int(record.value))
+    if record.rtype == "CNAME":
+        return TYPE_CNAME, encode_name(record.value)
+    raise ProtocolError(f"cannot encode rtype {record.rtype!r}")
+
+
+def _encode_rr(record: ResourceRecord) -> bytes:
+    rtype, rdata = _encode_rdata(record)
+    out = bytearray()
+    out += encode_name(record.name)
+    out += struct.pack("!HHIH", rtype, CLASS_IN, record.ttl, len(rdata))
+    out += rdata
+    if record.signature is not None:
+        out += encode_name(record.name)
+        out += struct.pack("!HHIH", TYPE_RRSIG, CLASS_IN, record.ttl,
+                           len(record.signature))
+        out += record.signature
+    return bytes(out)
+
+
+def pack_query(query: DnsQuery, recursion_desired: bool = True) -> bytes:
+    """A query message for one question."""
+    rtype = _TYPE_BY_NAME.get(query.rtype)
+    if rtype is None:
+        raise ProtocolError(f"cannot encode query type {query.rtype!r}")
+    header = struct.pack(
+        "!HHHHHH",
+        query.query_id & 0xFFFF,
+        FLAG_RD if recursion_desired else 0,
+        1, 0, 0, 0,
+    )
+    return header + encode_name(query.name) + struct.pack("!HH", rtype,
+                                                          CLASS_IN)
+
+
+def pack_response(response: DnsResponse) -> bytes:
+    """A response message: question echoed + answers (+ RRSIGs)."""
+    query = response.query
+    rtype = _TYPE_BY_NAME.get(query.rtype)
+    if rtype is None:
+        raise ProtocolError(f"cannot encode query type {query.rtype!r}")
+    answer_count = sum(
+        2 if record.signature is not None else 1
+        for record in response.records
+    )
+    flags = FLAG_QR | FLAG_RD | FLAG_RA
+    if response.nxdomain:
+        flags |= RCODE_NXDOMAIN
+    header = struct.pack(
+        "!HHHHHH",
+        query.query_id & 0xFFFF, flags, 1, answer_count, 0, 0,
+    )
+    body = encode_name(query.name) + struct.pack("!HH", rtype, CLASS_IN)
+    for record in response.records:
+        body += _encode_rr(record)
+    return header + body
+
+
+@dataclasses.dataclass(frozen=True)
+class WireMessage:
+    """A decoded DNS message."""
+
+    query_id: int
+    is_response: bool
+    rcode: int
+    question_name: str
+    question_type: str
+    records: tuple[ResourceRecord, ...]
+
+    def to_response(self, resolver_name: str = "") -> DnsResponse:
+        """Rebuild the object-model response (fresh query id)."""
+        return DnsResponse(
+            query=DnsQuery(self.question_name, self.question_type),
+            records=self.records,
+            resolver_name=resolver_name,
+        )
+
+
+def unpack(data: bytes) -> WireMessage:
+    """Decode a query or response message."""
+    if len(data) < 12:
+        raise ProtocolError("truncated DNS header")
+    (query_id, flags, qdcount, ancount,
+     _nscount, _arcount) = struct.unpack("!HHHHHH", data[:12])
+    if qdcount != 1:
+        raise ProtocolError(f"expected exactly 1 question, got {qdcount}")
+    offset = 12
+    question_name, offset = decode_name(data, offset)
+    if offset + 4 > len(data):
+        raise ProtocolError("truncated question")
+    qtype, _qclass = struct.unpack("!HH", data[offset:offset + 4])
+    offset += 4
+    question_type = _NAME_BY_TYPE.get(qtype)
+    if question_type is None:
+        raise ProtocolError(f"unsupported question type {qtype}")
+
+    # (name, rtype, ttl, absolute RDATA offset, RDATA length)
+    raw_records: list[tuple[str, int, int, int, int]] = []
+    for _ in range(ancount):
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise ProtocolError("truncated resource record")
+        rtype, _rclass, ttl, rdlength = struct.unpack(
+            "!HHIH", data[offset:offset + 10]
+        )
+        offset += 10
+        if offset + rdlength > len(data):
+            raise ProtocolError("truncated RDATA")
+        raw_records.append((name, rtype, ttl, offset, rdlength))
+        offset += rdlength
+
+    records: list[ResourceRecord] = []
+    for name, rtype, ttl, rdata_offset, rdlength in raw_records:
+        rdata = data[rdata_offset:rdata_offset + rdlength]
+        if rtype == TYPE_A:
+            if len(rdata) != 4:
+                raise ProtocolError("A record RDATA must be 4 bytes")
+            value = int_to_ip(struct.unpack("!I", rdata)[0])
+            records.append(ResourceRecord(name, "A", value, ttl))
+        elif rtype == TYPE_CNAME:
+            # Decode at the absolute offset so compression pointers in
+            # the RDATA (which reference the whole message) resolve.
+            value, _ = decode_name(data, rdata_offset)
+            records.append(ResourceRecord(name, "CNAME", value, ttl))
+        elif rtype == TYPE_RRSIG:
+            if not records or records[-1].name != name:
+                raise ProtocolError("orphan RRSIG record")
+            records[-1] = dataclasses.replace(records[-1], signature=rdata)
+        else:
+            raise ProtocolError(f"unsupported record type {rtype}")
+
+    return WireMessage(
+        query_id=query_id,
+        is_response=bool(flags & FLAG_QR),
+        rcode=flags & 0x000F,
+        question_name=question_name,
+        question_type=question_type,
+        records=tuple(records),
+    )

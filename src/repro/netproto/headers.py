@@ -1,0 +1,226 @@
+"""Wire-format protocol headers.
+
+Real byte-level serialisation for Ethernet/IPv4/TCP/UDP.  The PVN data
+plane mostly works with the higher-level :class:`~repro.netsim.packet.Packet`
+abstraction, but the SDN flow-table matcher and the auditor's
+content-modification checks need honest header semantics: checksums,
+flags, and byte-exact round trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import ProtocolError
+from repro.netproto.addresses import int_to_ip, ip_to_int
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+PROTOCOL_NUMBERS = {"icmp": PROTO_ICMP, "tcp": PROTO_TCP, "udp": PROTO_UDP}
+PROTOCOL_NAMES = {number: name for name, number in PROTOCOL_NUMBERS.items()}
+
+
+def _mac_to_bytes(mac: str) -> bytes:
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ProtocolError(f"invalid MAC address {mac!r}")
+    try:
+        return bytes(int(part, 16) for part in parts)
+    except ValueError:
+        raise ProtocolError(f"invalid MAC address {mac!r}") from None
+
+
+def _bytes_to_mac(raw: bytes) -> str:
+    return ":".join(f"{octet:02x}" for octet in raw)
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class EthernetHeader:
+    """A 14-byte Ethernet II header."""
+
+    dst_mac: str
+    src_mac: str
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    def pack(self) -> bytes:
+        return (
+            _mac_to_bytes(self.dst_mac)
+            + _mac_to_bytes(self.src_mac)
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.LENGTH:
+            raise ProtocolError("truncated Ethernet header")
+        return cls(
+            dst_mac=_bytes_to_mac(data[0:6]),
+            src_mac=_bytes_to_mac(data[6:12]),
+            ethertype=struct.unpack("!H", data[12:14])[0],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Ipv4Header:
+    """A 20-byte IPv4 header (no options)."""
+
+    src: str
+    dst: str
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    total_length: int = 20
+    identification: int = 0
+    dscp: int = 0
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            struct.pack("!I", ip_to_int(self.src)),
+            struct.pack("!I", ip_to_int(self.dst)),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < cls.LENGTH:
+            raise ProtocolError("truncated IPv4 header")
+        (version_ihl, tos, total_length, identification, _frag, ttl,
+         protocol, checksum, src_raw, dst_raw) = struct.unpack(
+            "!BBHHHBBH4s4s", data[:20]
+        )
+        if version_ihl >> 4 != 4:
+            raise ProtocolError(f"not IPv4 (version={version_ihl >> 4})")
+        if internet_checksum(data[:10] + b"\x00\x00" + data[12:20]) != checksum:
+            raise ProtocolError("IPv4 header checksum mismatch")
+        return cls(
+            src=int_to_ip(struct.unpack("!I", src_raw)[0]),
+            dst=int_to_ip(struct.unpack("!I", dst_raw)[0]),
+            protocol=protocol,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+            dscp=tos >> 2,
+        )
+
+    def decremented(self) -> "Ipv4Header":
+        """A copy with TTL reduced by one (routers call this per hop)."""
+        if self.ttl <= 0:
+            raise ProtocolError("TTL expired")
+        return dataclasses.replace(self, ttl=self.ttl - 1)
+
+
+# TCP flag bits.
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+
+@dataclasses.dataclass(frozen=True)
+class TcpHeader:
+    """A 20-byte TCP header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,  # checksum modelled as zero (no pseudo-header here)
+            0,  # urgent
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        if len(data) < cls.LENGTH:
+            raise ProtocolError("truncated TCP header")
+        (src_port, dst_port, seq, ack, offset_flags, window,
+         _checksum, _urgent) = struct.unpack("!HHIIHHHH", data[:20])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x3F,
+            window=window,
+        )
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+
+@dataclasses.dataclass(frozen=True)
+class UdpHeader:
+    """An 8-byte UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = 8
+
+    LENGTH = 8
+
+    def pack(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port,
+                           self.length, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.LENGTH:
+            raise ProtocolError("truncated UDP header")
+        src_port, dst_port, length, _checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src_port, dst_port=dst_port, length=length)

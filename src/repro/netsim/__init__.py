@@ -1,0 +1,67 @@
+"""Discrete-event network simulation substrate.
+
+Public surface:
+
+* :class:`Simulator` — the event loop.
+* :class:`Packet`, :class:`Link`, :class:`Node`, :class:`Host`,
+  :class:`RoutingNode` — the data plane.
+* :class:`PhysicalTopology` and builders — annotated topologies.
+* :mod:`repro.netsim.tcp` — rounds-based TCP transfer models.
+* :mod:`repro.netsim.flows` — page-load and ABR-video models.
+"""
+
+from repro.netsim.events import Event, EventPriority
+from repro.netsim.link import Link, link_rtt
+from repro.netsim.node import Host, Node, RoutingNode
+from repro.netsim.packet import Packet
+from repro.netsim.queueing import DropTailQueue, RateMeter, TokenBucket
+from repro.netsim.randomness import RandomStreams, derive_seed
+from repro.netsim.simulator import Simulator
+from repro.netsim.tcp import (
+    PathCharacteristics,
+    TcpParams,
+    TransferResult,
+    mathis_throughput_bps,
+    simulate_split_transfer,
+    simulate_transfer,
+)
+from repro.netsim.topology import (
+    AccessNetworkSpec,
+    PhysicalTopology,
+    attach_device,
+    build_access_network,
+    build_multihomed_access,
+    build_wide_area,
+)
+from repro.netsim.trace import LatencySummary, Tracer
+
+__all__ = [
+    "AccessNetworkSpec",
+    "DropTailQueue",
+    "Event",
+    "EventPriority",
+    "Host",
+    "LatencySummary",
+    "Link",
+    "Node",
+    "Packet",
+    "PathCharacteristics",
+    "PhysicalTopology",
+    "RandomStreams",
+    "RateMeter",
+    "RoutingNode",
+    "Simulator",
+    "TcpParams",
+    "TokenBucket",
+    "Tracer",
+    "TransferResult",
+    "attach_device",
+    "build_access_network",
+    "build_multihomed_access",
+    "build_wide_area",
+    "derive_seed",
+    "link_rtt",
+    "mathis_throughput_bps",
+    "simulate_split_transfer",
+    "simulate_transfer",
+]

@@ -1,0 +1,49 @@
+"""Event records for the discrete-event simulator.
+
+Events are ordered by (time, priority, sequence).  The sequence number
+makes ordering total and deterministic: two events scheduled for the
+same instant fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break priority for events scheduled at the same instant.
+
+    Lower values fire first.  ``CONTROL`` lets control-plane actions
+    (rule installation, teardown) take effect before data-plane packets
+    scheduled for the same instant.
+    """
+
+    CONTROL = 0
+    NORMAL = 1
+    BACKGROUND = 2
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Comparison uses only ``(time, priority, sequence)`` so events are
+    heap-orderable regardless of their callback payloads.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = dataclasses.field(compare=False)
+    args: tuple[Any, ...] = dataclasses.field(compare=False, default=())
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the simulator calls this)."""
+        self.callback(*self.args)

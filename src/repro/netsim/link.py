@@ -1,0 +1,165 @@
+"""Point-to-point links.
+
+A :class:`Link` joins two nodes bidirectionally.  Each direction has
+its own serialisation state (a link can be busy A->B while idle B->A),
+a drop-tail buffer, an optional random loss rate (wireless links), and
+an optional :class:`~repro.netsim.queueing.TokenBucket` shaper used to
+model ISP policy applied on a physical link.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+from repro.netsim.queueing import TokenBucket
+from repro.units import transmission_delay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Node
+    from repro.netsim.simulator import Simulator
+
+
+@dataclasses.dataclass
+class LinkStats:
+    """Per-direction delivery counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    bytes_delivered: int = 0
+
+
+class _Direction:
+    """Serialisation state for one direction of a link."""
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.stats = LinkStats()
+        self.shaper: TokenBucket | None = None
+
+
+class Link:
+    """A bidirectional point-to-point link.
+
+    Parameters
+    ----------
+    a, b:
+        The two endpoint nodes; the link registers itself with both.
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth_bps:
+        Serialisation rate in bits/second.
+    loss_rate:
+        Independent per-packet loss probability (0 disables loss).
+    rng:
+        Generator used for loss draws; required when ``loss_rate > 0``.
+    """
+
+    def __init__(
+        self,
+        a: "Node",
+        b: "Node",
+        latency: float = 0.001,
+        bandwidth_bps: float = 100e6,
+        loss_rate: float = 0.0,
+        rng: np.random.Generator | None = None,
+        name: str = "",
+        max_queue_delay: float | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in [0,1), got {loss_rate}")
+        if loss_rate > 0 and rng is None:
+            raise ConfigurationError("loss_rate > 0 requires an rng")
+        if max_queue_delay is not None and max_queue_delay < 0:
+            raise ConfigurationError("max_queue_delay must be >= 0")
+        self.a = a
+        self.b = b
+        self.latency = float(latency)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.loss_rate = float(loss_rate)
+        self.rng = rng
+        self.max_queue_delay = max_queue_delay
+        self.name = name or f"{a.name}<->{b.name}"
+        self._directions = {a.name: _Direction(), b.name: _Direction()}
+        a.attach_link(self)
+        b.attach_link(self)
+
+    # -- wiring ----------------------------------------------------------
+
+    def other_end(self, node: "Node") -> "Node":
+        """The peer of ``node`` on this link."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ConfigurationError(f"{node.name} is not attached to {self.name}")
+
+    def set_shaper(self, from_node: "Node", shaper: TokenBucket | None) -> None:
+        """Install (or clear) a shaper on the ``from_node`` -> peer direction."""
+        self._directions[from_node.name].shaper = shaper
+
+    def stats_from(self, node: "Node") -> LinkStats:
+        """Delivery counters for the direction leaving ``node``."""
+        return self._directions[node.name].stats
+
+    # -- data plane --------------------------------------------------------
+
+    def one_way_delay(self, size_bytes: int) -> float:
+        """Unloaded latency + serialisation for a packet of this size."""
+        return self.latency + transmission_delay(size_bytes, self.bandwidth_bps)
+
+    def transmit(self, packet: Packet, from_node: "Node") -> None:
+        """Send ``packet`` from ``from_node`` toward the other end.
+
+        Models: optional shaping delay, FIFO serialisation (the
+        direction's ``busy_until``), propagation, then random loss.
+        Delivery schedules ``peer.receive(packet, self)``.
+        """
+        sim = from_node.sim
+        peer = self.other_end(from_node)
+        direction = self._directions[from_node.name]
+        direction.stats.sent += 1
+
+        # Drop-tail on bounded buffers: a packet that would wait longer
+        # than the buffer holds is dropped at enqueue time.
+        if self.max_queue_delay is not None:
+            backlog = direction.busy_until - sim.now
+            if backlog > self.max_queue_delay:
+                direction.stats.lost += 1
+                packet.mark_dropped(f"buffer overflow on {self.name}")
+                return
+
+        start = max(sim.now, direction.busy_until)
+        if direction.shaper is not None:
+            start += direction.shaper.delay_for(packet.size, start)
+        tx_done = start + transmission_delay(packet.size, self.bandwidth_bps)
+        direction.busy_until = tx_done
+
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            direction.stats.lost += 1
+            packet.mark_dropped(f"loss on {self.name}")
+            return
+
+        arrival = tx_done + self.latency
+
+        def _deliver() -> None:
+            direction.stats.delivered += 1
+            direction.stats.bytes_delivered += packet.size
+            peer.receive(packet, self)
+
+        sim.schedule_at(arrival, _deliver)
+
+
+def link_rtt(path_links: list[Link], size_bytes: int = 40) -> float:
+    """Unloaded round-trip time along a list of links (small packets)."""
+    one_way = sum(link.one_way_delay(size_bytes) for link in path_links)
+    return 2.0 * one_way

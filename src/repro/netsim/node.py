@@ -1,0 +1,124 @@
+"""Simulation nodes: hosts, routers, and processing nodes.
+
+The class hierarchy is deliberately small:
+
+* :class:`Node` — attachment points for links, hop recording.
+* :class:`Host` — an endpoint with an IPv4 address; delivers packets to
+  registered application handlers and can originate traffic.
+* :class:`RoutingNode` — a classic longest-prefix / next-hop router used
+  for the non-SDN parts of topologies (the wide area).  SDN switches
+  live in :mod:`repro.sdn.switch` and subclass :class:`Node` too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError
+from repro.netproto.addresses import ip_in_subnet
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.link import Link
+    from repro.netsim.simulator import Simulator
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """A named attachment point in the simulated network."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.links: dict[str, "Link"] = {}
+
+    def attach_link(self, link: "Link") -> None:
+        """Register a link whose far end is another node (Link calls this)."""
+        peer = link.a if link.b is self else link.b
+        self.links[peer.name] = link
+
+    def link_to(self, peer_name: str) -> "Link":
+        """The link toward a directly connected peer."""
+        try:
+            return self.links[peer_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no link to {peer_name}; "
+                f"neighbors: {sorted(self.links)}"
+            ) from None
+
+    def send(self, packet: Packet, via: str) -> None:
+        """Transmit ``packet`` over the link to neighbor ``via``."""
+        self.link_to(via).transmit(packet, self)
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        """Handle an arriving packet.  Subclasses override."""
+        packet.record_hop(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Host(Node):
+    """An endpoint with an address, app handlers, and delivery records."""
+
+    def __init__(self, sim: "Simulator", name: str, ip: str) -> None:
+        super().__init__(sim, name)
+        self.ip = ip
+        self.delivered: list[Packet] = []
+        self._handlers: dict[int, PacketHandler] = {}
+        self._default_handler: PacketHandler | None = None
+
+    def bind(self, port: int, handler: PacketHandler) -> None:
+        """Deliver packets addressed to ``port`` to ``handler``."""
+        self._handlers[port] = handler
+
+    def bind_default(self, handler: PacketHandler) -> None:
+        """Handler for packets with no port-specific binding."""
+        self._default_handler = handler
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        super().receive(packet, link)
+        packet.delivered_at = self.sim.now
+        self.delivered.append(packet)
+        handler = self._handlers.get(packet.dst_port, self._default_handler)
+        if handler is not None:
+            handler(packet)
+
+    def originate(self, packet: Packet, via: str) -> None:
+        """Stamp creation time/hop and transmit toward ``via``."""
+        packet.created_at = self.sim.now
+        packet.record_hop(self.name)
+        self.send(packet, via)
+
+
+class RoutingNode(Node):
+    """A destination-prefix router with static routes.
+
+    Routes are ``(cidr, next_hop_name)`` pairs; the most specific
+    matching prefix wins.  A default route uses ``"0.0.0.0/0"``.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        super().__init__(sim, name)
+        self._routes: list[tuple[str, int, str]] = []  # (cidr, prefixlen, hop)
+
+    def add_route(self, cidr: str, next_hop: str) -> None:
+        prefix_len = int(cidr.split("/")[1]) if "/" in cidr else 32
+        self._routes.append((cidr, prefix_len, next_hop))
+        self._routes.sort(key=lambda r: -r[1])
+
+    def next_hop(self, dst_ip: str) -> str | None:
+        for cidr, _, hop in self._routes:
+            if ip_in_subnet(dst_ip, cidr):
+                return hop
+        return None
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        super().receive(packet, link)
+        hop = self.next_hop(packet.dst)
+        if hop is None:
+            packet.mark_dropped(f"no route to {packet.dst} at {self.name}")
+            return
+        self.send(packet, hop)

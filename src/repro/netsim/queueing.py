@@ -1,0 +1,144 @@
+"""Queueing and traffic-shaping primitives.
+
+These are used by links (drop-tail buffering) and by ISP policy models:
+the Binge On experiment (E4) shapes video flows through a
+:class:`TokenBucket` at 1.5 Mbps exactly as the paper describes
+T-Mobile doing.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+
+
+@dataclasses.dataclass
+class QueueStats:
+    """Counters exposed by every queue/shaper."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    bytes_dropped: int = 0
+
+
+class DropTailQueue:
+    """A bounded FIFO that drops arrivals when full."""
+
+    def __init__(self, capacity_packets: int = 100) -> None:
+        if capacity_packets <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self.capacity = capacity_packets
+        self._queue: collections.deque[Packet] = collections.deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; returns False (and marks the packet) on overflow."""
+        if self.full:
+            packet.mark_dropped("queue overflow")
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return False
+        self._queue.append(packet)
+        self.stats.enqueued += 1
+        self.stats.bytes_in += packet.size
+        return True
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head packet, or None if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.stats.dequeued += 1
+        self.stats.bytes_out += packet.size
+        return packet
+
+
+class TokenBucket:
+    """A token-bucket shaper over simulated time.
+
+    Tokens accrue at ``rate_bps`` bits per second up to ``burst_bytes``.
+    :meth:`delay_for` answers "how long must this packet wait before it
+    conforms", which is how a shaping ISP (Binge On) paces video.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int = 16_000) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("token bucket rate must be positive")
+        if burst_bytes <= 0:
+            raise ConfigurationError("token bucket burst must be positive")
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = int(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last_update = 0.0
+        self.stats = QueueStats()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_update)
+        self._tokens = min(
+            self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8.0
+        )
+        self._last_update = now
+
+    def delay_for(self, size_bytes: int, now: float) -> float:
+        """Seconds the packet must wait to conform; 0 if it can go now.
+
+        The caller is expected to actually send after the returned
+        delay; tokens are consumed immediately (the packet has a
+        reservation).
+        """
+        self._refill(now)
+        self.stats.enqueued += 1
+        self.stats.bytes_in += size_bytes
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            self.stats.dequeued += 1
+            self.stats.bytes_out += size_bytes
+            return 0.0
+        deficit = size_bytes - self._tokens
+        self._tokens = 0.0
+        wait = deficit * 8.0 / self.rate_bps
+        # Account for the future send so back-to-back callers queue up.
+        self._last_update = now + wait
+        self.stats.dequeued += 1
+        self.stats.bytes_out += size_bytes
+        return wait
+
+
+class RateMeter:
+    """An exponentially weighted rate estimator (for audits and ABR).
+
+    ``update(now, nbytes)`` folds an observation in; ``rate_bps(now)``
+    reads the current estimate, decayed toward zero when idle.
+    """
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ConfigurationError("meter window must be positive")
+        self.window = float(window)
+        self._rate = 0.0
+        self._last = 0.0
+
+    def update(self, now: float, nbytes: int) -> None:
+        elapsed = max(1e-9, now - self._last)
+        instant = nbytes * 8.0 / elapsed
+        alpha = min(1.0, elapsed / self.window)
+        self._rate = (1 - alpha) * self._rate + alpha * instant
+        self._last = now
+
+    def rate_bps(self, now: float) -> float:
+        idle = max(0.0, now - self._last)
+        decay = max(0.0, 1.0 - idle / self.window)
+        return self._rate * decay

@@ -1,0 +1,45 @@
+"""Seeded random-number streams.
+
+Every stochastic component draws from its own named stream derived from
+a single experiment seed, so adding a new component never perturbs the
+draws of existing ones and results stay reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 63-bit child seed from ``(root_seed, name)``."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class RandomStreams:
+    """A factory of independent, named ``numpy`` generators.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.get("loss")
+    >>> b = streams.get("loss")
+    >>> a is b
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = np.random.default_rng(
+                derive_seed(self.seed, name)
+            )
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create a child factory with an independent seed namespace."""
+        return RandomStreams(derive_seed(self.seed, f"spawn:{name}"))

@@ -1,0 +1,246 @@
+"""Physical topologies.
+
+A :class:`PhysicalTopology` is a ``networkx`` graph annotated with the
+attributes the PVN deployment machinery needs:
+
+* node ``kind``: ``"host"``, ``"ap"``, ``"switch"``, ``"nfv"``,
+  ``"gateway"``, ``"server"``, or ``"middlebox"`` (a *physical*
+  middlebox the provider already operates — Fig. 1(b) reuse),
+* node ``cpu`` / ``memory_bytes`` for NFV hosts,
+* edge ``latency`` (one-way seconds) and ``bandwidth_bps``.
+
+Builders at the bottom construct the canonical scenarios used by the
+experiments: a PVN-capable access network, a multihomed variant
+(Fig. 1(c)), and a wide area with cloud and home networks for the
+tunneling baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Node, RoutingNode
+from repro.netsim.simulator import Simulator
+from repro.units import transmission_delay
+
+NODE_KINDS = {"host", "ap", "switch", "nfv", "gateway", "server", "middlebox"}
+
+
+class PhysicalTopology:
+    """An annotated undirected graph of the physical network."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.graph = nx.Graph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, name: str, kind: str, **attrs: object) -> None:
+        if kind not in NODE_KINDS:
+            raise ConfigurationError(
+                f"unknown node kind {kind!r}; expected one of {sorted(NODE_KINDS)}"
+            )
+        self.graph.add_node(name, kind=kind, **attrs)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency: float,
+        bandwidth_bps: float,
+        loss_rate: float = 0.0,
+    ) -> None:
+        for endpoint in (a, b):
+            if endpoint not in self.graph:
+                raise ConfigurationError(f"unknown node {endpoint!r}")
+        self.graph.add_edge(
+            a, b, latency=latency, bandwidth_bps=bandwidth_bps,
+            loss_rate=loss_rate,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def kind_of(self, name: str) -> str:
+        return self.graph.nodes[name]["kind"]
+
+    def nodes_of_kind(self, kind: str, include_wide_area: bool = True
+                      ) -> list[str]:
+        """Nodes of ``kind``; ``include_wide_area=False`` restricts to
+        the access network proper (excludes cloud/home NFV sites)."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True)
+            if data["kind"] == kind
+            and (include_wide_area or not data.get("wide_area"))
+        )
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """Latency-weighted shortest path (node names, inclusive)."""
+        return nx.shortest_path(self.graph, src, dst, weight="latency")
+
+    def path_latency(self, path: list[str], size_bytes: int = 40) -> float:
+        """One-way delay along ``path`` for a packet of ``size_bytes``."""
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            edge = self.graph.edges[a, b]
+            total += edge["latency"] + transmission_delay(
+                size_bytes, edge["bandwidth_bps"]
+            )
+        return total
+
+    def rtt(self, src: str, dst: str, size_bytes: int = 40) -> float:
+        """Unloaded round-trip time between two nodes."""
+        return 2.0 * self.path_latency(self.shortest_path(src, dst), size_bytes)
+
+    def path_bottleneck_bps(self, path: list[str]) -> float:
+        return min(
+            self.graph.edges[a, b]["bandwidth_bps"]
+            for a, b in zip(path, path[1:])
+        )
+
+    def path_loss_rate(self, path: list[str]) -> float:
+        survive = 1.0
+        for a, b in zip(path, path[1:]):
+            survive *= 1.0 - self.graph.edges[a, b].get("loss_rate", 0.0)
+        return 1.0 - survive
+
+    # -- instantiation -------------------------------------------------------
+
+    def instantiate(
+        self, sim: Simulator, host_ips: dict[str, str] | None = None
+    ) -> dict[str, Node]:
+        """Create live :class:`Node`/:class:`Link` objects for this graph.
+
+        ``host`` and ``server`` nodes become :class:`Host` (IPs taken
+        from ``host_ips`` or synthesised); everything else becomes a
+        :class:`RoutingNode`.  Routing tables are left to the caller
+        (or to the SDN controller).
+        """
+        host_ips = host_ips or {}
+        nodes: dict[str, Node] = {}
+        next_ip = 1
+        for name, data in sorted(self.graph.nodes(data=True)):
+            if data["kind"] in ("host", "server"):
+                ip = host_ips.get(name, f"10.250.0.{next_ip}")
+                next_ip += 1
+                nodes[name] = Host(sim, name, ip)
+            else:
+                nodes[name] = RoutingNode(sim, name)
+        for a, b, data in sorted(self.graph.edges(data=True)):
+            Link(
+                nodes[a], nodes[b],
+                latency=data["latency"],
+                bandwidth_bps=data["bandwidth_bps"],
+            )
+        return nodes
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessNetworkSpec:
+    """Parameters for the canonical PVN-capable access network."""
+
+    n_aps: int = 2
+    n_nfv_hosts: int = 2
+    wireless_latency: float = 0.008      # device <-> AP, one way
+    wireless_bandwidth_bps: float = 40e6
+    wireless_loss_rate: float = 0.005
+    backhaul_latency: float = 0.002
+    backhaul_bandwidth_bps: float = 1e9
+    nfv_cpu: int = 16
+    nfv_memory_bytes: int = 8_000_000_000
+    physical_middleboxes: tuple[str, ...] = ("tcp_proxy", "cache")
+
+
+def build_access_network(
+    spec: AccessNetworkSpec | None = None, name: str = "isp"
+) -> PhysicalTopology:
+    """The canonical access network of Fig. 1(b).
+
+    devices -- AP(s) -- aggregation switch -- core switch -- gateway,
+    with NFV hosts and the provider's existing physical middleboxes
+    hanging off the aggregation layer.
+    """
+    spec = spec or AccessNetworkSpec()
+    topo = PhysicalTopology(name)
+    topo.add_node("agg", kind="switch")
+    topo.add_node("core", kind="switch")
+    topo.add_node("gw", kind="gateway")
+    topo.add_link("agg", "core", spec.backhaul_latency, spec.backhaul_bandwidth_bps)
+    topo.add_link("core", "gw", spec.backhaul_latency, spec.backhaul_bandwidth_bps)
+    for i in range(spec.n_aps):
+        ap = f"ap{i}"
+        topo.add_node(ap, kind="ap")
+        topo.add_link(ap, "agg", spec.backhaul_latency, spec.backhaul_bandwidth_bps)
+    for i in range(spec.n_nfv_hosts):
+        nfv = f"nfv{i}"
+        topo.add_node(nfv, kind="nfv", cpu=spec.nfv_cpu,
+                      memory_bytes=spec.nfv_memory_bytes)
+        topo.add_link(nfv, "agg", 0.0005, spec.backhaul_bandwidth_bps)
+    for service in spec.physical_middleboxes:
+        mbox = f"pmb_{service}"
+        topo.add_node(mbox, kind="middlebox", service=service)
+        topo.add_link(mbox, "core", 0.0005, spec.backhaul_bandwidth_bps)
+    return topo
+
+
+def attach_device(
+    topo: PhysicalTopology,
+    device_name: str,
+    ap: str = "ap0",
+    latency: float | None = None,
+    bandwidth_bps: float | None = None,
+    loss_rate: float | None = None,
+    spec: AccessNetworkSpec | None = None,
+) -> None:
+    """Attach a device host to an AP with wireless characteristics."""
+    spec = spec or AccessNetworkSpec()
+    topo.add_node(device_name, kind="host")
+    topo.add_link(
+        device_name, ap,
+        latency=spec.wireless_latency if latency is None else latency,
+        bandwidth_bps=(spec.wireless_bandwidth_bps
+                       if bandwidth_bps is None else bandwidth_bps),
+        loss_rate=spec.wireless_loss_rate if loss_rate is None else loss_rate,
+    )
+
+
+def build_wide_area(
+    access: PhysicalTopology,
+    cloud_rtt: float = 0.040,
+    home_rtt: float = 0.060,
+    server_rtt: float = 0.050,
+    wan_bandwidth_bps: float = 1e9,
+) -> PhysicalTopology:
+    """Extend an access network with cloud, home, and content servers.
+
+    The RTT arguments are round-trip times from the access gateway, as
+    in §3.2's "10s of ms for well connected networks"; they are split
+    into one-way latencies on the WAN edges.
+    """
+    for name, rtt in (("cloud", cloud_rtt), ("home", home_rtt)):
+        access.add_node(name, kind="nfv", cpu=64,
+                        memory_bytes=64_000_000_000, wide_area=True)
+        access.add_link("gw", name, rtt / 2.0, wan_bandwidth_bps)
+    access.add_node("origin", kind="server")
+    access.add_link("gw", "origin", server_rtt / 2.0, wan_bandwidth_bps)
+    return access
+
+
+def build_multihomed_access(spec: AccessNetworkSpec | None = None) -> PhysicalTopology:
+    """Fig. 1(c): an access network with two upstream paths (WiFi + cell)."""
+    topo = build_access_network(spec, name="multihomed")
+    topo.add_node("gw_cell", kind="gateway")
+    topo.add_link("core", "gw_cell", 0.015, 100e6)
+    return topo
+
+
+def iter_edges_with_attrs(
+    topo: PhysicalTopology,
+) -> Iterable[tuple[str, str, dict]]:
+    """Stable iteration over annotated edges (sorted, for determinism)."""
+    for a, b, data in sorted(topo.graph.edges(data=True)):
+        yield a, b, data

@@ -1,0 +1,96 @@
+"""Tracing and metric collection.
+
+A :class:`Tracer` is a lightweight in-memory event log that components
+append structured records to.  Experiments query it for latency
+distributions, per-middlebox verdict counts, and audit evidence.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import statistics
+from typing import Any, Iterable
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event."""
+
+    time: float
+    category: str
+    subject: str
+    fields: tuple[tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+
+class Tracer:
+    """Append-only structured event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def emit(self, time: float, category: str, subject: str, **fields: Any) -> None:
+        """Record one event."""
+        self._records.append(
+            TraceRecord(time, category, subject, tuple(sorted(fields.items())))
+        )
+
+    def records(
+        self, category: str | None = None, subject: str | None = None
+    ) -> list[TraceRecord]:
+        """Records matching the given filters, in emission order."""
+        out = self._records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if subject is not None:
+            out = [r for r in out if r.subject == subject]
+        return list(out)
+
+    def count(self, category: str, subject: str | None = None) -> int:
+        return len(self.records(category, subject))
+
+    def values(self, category: str, key: str) -> list[Any]:
+        """Extract ``fields[key]`` from every record in ``category``."""
+        return [
+            r.get(key) for r in self.records(category) if r.get(key) is not None
+        ]
+
+    def counter(self, category: str, key: str) -> collections.Counter:
+        """Histogram of ``fields[key]`` across a category."""
+        return collections.Counter(self.values(category, key))
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Summary statistics over a latency sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
+        data = sorted(samples)
+        if not data:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p95_index = min(len(data) - 1, int(round(0.95 * (len(data) - 1))))
+        return cls(
+            count=len(data),
+            mean=statistics.fmean(data),
+            median=statistics.median(data),
+            p95=data[p95_index],
+            minimum=data[0],
+            maximum=data[-1],
+        )

@@ -1,0 +1,115 @@
+"""Service-function chains.
+
+A :class:`ServiceChain` runs a packet through an ordered list of
+(optionally sandboxed) containers.  The first non-PASS verdict
+short-circuits: DROP consumes the packet, TUNNEL hands it to a tunnel
+callback, REWRITE continues with the modified packet.
+
+The chain also aggregates the per-packet latency the experiments
+charge: the sum of each traversed container's ``per_packet_delay``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+from repro.nfv.container import Container
+from repro.nfv.middlebox import ProcessingContext, Verdict, VerdictKind
+from repro.nfv.sandbox import Sandbox
+
+TunnelCallback = Callable[[Packet, str], None]
+
+
+@dataclasses.dataclass
+class ChainHop:
+    """One position in a chain: a container, optionally sandboxed."""
+
+    container: Container
+    sandbox: Sandbox | None = None
+
+    def process(self, packet: Packet, context: ProcessingContext) -> Verdict:
+        if self.sandbox is not None:
+            # Charge container accounting, but let the sandbox gate the verdict.
+            self.container.packets_processed += 1
+            self.container.busy_seconds += self.container.spec.per_packet_delay
+            return self.sandbox.process(packet, context)
+        return self.container.process(packet, context)
+
+
+@dataclasses.dataclass
+class ChainResult:
+    """What happened to one packet in a chain."""
+
+    packet: Packet | None          # None when dropped or tunneled
+    verdicts: list[Verdict]
+    added_delay: float
+    terminal_kind: VerdictKind
+
+
+class ServiceChain:
+    """An ordered middlebox chain with a stable id."""
+
+    def __init__(
+        self,
+        chain_id: str,
+        hops: list[ChainHop],
+        tunnel_callback: TunnelCallback | None = None,
+    ) -> None:
+        if not chain_id:
+            raise ConfigurationError("chain needs an id")
+        self.chain_id = chain_id
+        self.hops = list(hops)
+        self.tunnel_callback = tunnel_callback
+        self.packets_in = 0
+        self.packets_dropped = 0
+        self.packets_tunneled = 0
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def per_packet_delay(self) -> float:
+        """Added latency for a packet traversing the whole chain."""
+        return sum(hop.container.spec.per_packet_delay for hop in self.hops)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(hop.container.spec.memory_bytes for hop in self.hops)
+
+    def process(self, packet: Packet, context: ProcessingContext) -> ChainResult:
+        """Run ``packet`` through the chain."""
+        self.packets_in += 1
+        verdicts: list[Verdict] = []
+        delay = 0.0
+        for hop in self.hops:
+            delay += hop.container.spec.per_packet_delay
+            verdict = hop.process(packet, context)
+            verdicts.append(verdict)
+            if verdict.kind is VerdictKind.DROP:
+                self.packets_dropped += 1
+                packet.mark_dropped(f"{verdict.reason} (chain {self.chain_id})")
+                return ChainResult(None, verdicts, delay, VerdictKind.DROP)
+            if verdict.kind is VerdictKind.TUNNEL:
+                self.packets_tunneled += 1
+                packet.metadata["tunneled_to"] = verdict.tunnel_endpoint
+                if self.tunnel_callback is not None:
+                    self.tunnel_callback(packet, verdict.tunnel_endpoint)
+                return ChainResult(None, verdicts, delay, VerdictKind.TUNNEL)
+            # PASS and REWRITE both continue down the chain.
+        terminal = verdicts[-1].kind if verdicts else VerdictKind.PASS
+        if terminal is VerdictKind.REWRITE:
+            terminal = VerdictKind.PASS
+        return ChainResult(packet, verdicts, delay, terminal)
+
+    def as_executor(self, context_factory: Callable[[Packet], ProcessingContext]
+                    ) -> Callable[[Packet, str], Packet | None]:
+        """Adapt this chain to the SDN switch's ToChain executor API."""
+
+        def executor(packet: Packet, chain_id: str) -> Packet | None:
+            result = self.process(packet, context_factory(packet))
+            return result.packet
+
+        return executor

@@ -1,0 +1,111 @@
+"""Container-modelled middlebox instances.
+
+§3.3 argues PVN overhead is negligible by citing ClickOS numbers
+(Martins et al., NSDI'14): containers "can be instantiated in 30
+milliseconds, add only 45 microseconds of delay, and consume only 6 MB
+of memory".  Those three constants are the defaults of
+:class:`ContainerSpec` and drive the E1 scalability experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+
+from repro.errors import SimulationError
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.nfv.middlebox import Middlebox, ProcessingContext, Verdict
+from repro.units import MB, MICROSECOND, MILLISECOND
+
+_container_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainerSpec:
+    """Resource model for one middlebox container.
+
+    Defaults are the ClickOS figures the paper cites in §3.3.
+    """
+
+    instantiation_time: float = 30 * MILLISECOND
+    per_packet_delay: float = 45 * MICROSECOND
+    memory_bytes: int = 6 * MB
+    cpu_share: float = 0.1      # fraction of one core
+
+    def __post_init__(self) -> None:
+        if self.instantiation_time < 0 or self.per_packet_delay < 0:
+            raise SimulationError("container delays must be >= 0")
+        if self.memory_bytes <= 0 or self.cpu_share <= 0:
+            raise SimulationError("container resources must be positive")
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    INSTANTIATING = "instantiating"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class Container:
+    """A running (or starting) instance of one middlebox."""
+
+    def __init__(
+        self,
+        middlebox: Middlebox,
+        spec: ContainerSpec | None = None,
+        owner: str = "",
+    ) -> None:
+        self.container_id = next(_container_ids)
+        self.middlebox = middlebox
+        self.spec = spec or ContainerSpec()
+        self.owner = owner
+        self.state = ContainerState.CREATED
+        self.started_at: float | None = None
+        self.running_at: float | None = None
+        self.packets_processed = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.middlebox.name}#{self.container_id}"
+
+    def start(self, sim: Simulator) -> None:
+        """Begin instantiation; RUNNING after ``instantiation_time``."""
+        if self.state not in (ContainerState.CREATED, ContainerState.STOPPED):
+            raise SimulationError(f"cannot start container in {self.state}")
+        self.state = ContainerState.INSTANTIATING
+        self.started_at = sim.now
+
+        def _running() -> None:
+            self.state = ContainerState.RUNNING
+            self.running_at = sim.now
+
+        sim.schedule(self.spec.instantiation_time, _running)
+
+    def start_immediately(self, now: float) -> None:
+        """Synchronous start for non-event-driven experiments."""
+        self.state = ContainerState.RUNNING
+        self.started_at = now
+        self.running_at = now + self.spec.instantiation_time
+
+    def stop(self) -> None:
+        self.state = ContainerState.STOPPED
+
+    def process(self, packet: Packet, context: ProcessingContext) -> Verdict:
+        """Run the packet through the middlebox, charging per-packet delay."""
+        if self.state is not ContainerState.RUNNING:
+            raise SimulationError(
+                f"container {self.name} is {self.state.value}, not running"
+            )
+        self.packets_processed += 1
+        self.busy_seconds += self.spec.per_packet_delay
+        return self.middlebox.process(packet, context)
+
+    @property
+    def instantiation_latency(self) -> float:
+        """Measured start -> running latency (spec value once running)."""
+        if self.started_at is None or self.running_at is None:
+            return 0.0
+        return self.running_at - self.started_at

@@ -1,0 +1,139 @@
+"""NFV hosts: capacity accounting and container lifecycle.
+
+An :class:`NfvHost` models one physical server in the access network
+that runs PVN containers.  Admission is by memory and CPU-share
+capacity; the E1 scalability experiment packs thousands of per-user
+containers onto a small number of hosts and measures when admission
+starts failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CapacityError
+from repro.netsim.simulator import Simulator
+from repro.nfv.container import Container, ContainerState
+
+
+@dataclasses.dataclass
+class HostCapacity:
+    """Static capacity of one NFV host."""
+
+    memory_bytes: int = 8_000_000_000     # 8 GB
+    cpu_cores: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.cpu_cores <= 0:
+            raise CapacityError("host capacity must be positive")
+
+
+class NfvHost:
+    """One container host with admission control.
+
+    ``per_owner_memory_fraction`` caps any single subscriber's share of
+    host memory (the §3.3 fairness control against a user "unfair[ly]
+    us[ing] network and computational resources"); ``None`` disables
+    the cap.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: HostCapacity | None = None,
+        per_owner_memory_fraction: float | None = None,
+    ) -> None:
+        self.name = name
+        self.capacity = capacity or HostCapacity()
+        if per_owner_memory_fraction is not None and not (
+            0.0 < per_owner_memory_fraction <= 1.0
+        ):
+            raise CapacityError("per-owner fraction must be in (0,1]")
+        self.per_owner_memory_fraction = per_owner_memory_fraction
+        self._containers: dict[int, Container] = {}
+        self.launches = 0
+        self.rejections = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def memory_in_use(self) -> int:
+        return sum(
+            c.spec.memory_bytes for c in self._containers.values()
+            if c.state is not ContainerState.STOPPED
+        )
+
+    @property
+    def cpu_in_use(self) -> float:
+        return sum(
+            c.spec.cpu_share for c in self._containers.values()
+            if c.state is not ContainerState.STOPPED
+        )
+
+    @property
+    def container_count(self) -> int:
+        return sum(
+            1 for c in self._containers.values()
+            if c.state is not ContainerState.STOPPED
+        )
+
+    def memory_of_owner(self, owner: str) -> int:
+        return sum(
+            c.spec.memory_bytes for c in self._containers.values()
+            if c.owner == owner and c.state is not ContainerState.STOPPED
+        )
+
+    def can_admit(self, container: Container) -> bool:
+        fits = (
+            self.memory_in_use + container.spec.memory_bytes
+            <= self.capacity.memory_bytes
+            and self.cpu_in_use + container.spec.cpu_share
+            <= self.capacity.cpu_cores
+        )
+        if not fits:
+            return False
+        if self.per_owner_memory_fraction is not None:
+            cap = self.per_owner_memory_fraction * self.capacity.memory_bytes
+            owner_use = self.memory_of_owner(container.owner)
+            if owner_use + container.spec.memory_bytes > cap:
+                return False
+        return True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def launch(self, container: Container, sim: Simulator | None = None,
+               now: float = 0.0) -> Container:
+        """Admit and start a container (event-driven when ``sim`` given)."""
+        if not self.can_admit(container):
+            self.rejections += 1
+            raise CapacityError(
+                f"{self.name} cannot admit {container.name}: "
+                f"mem {self.memory_in_use}/{self.capacity.memory_bytes}, "
+                f"cpu {self.cpu_in_use:.1f}/{self.capacity.cpu_cores}"
+            )
+        self._containers[container.container_id] = container
+        if sim is not None:
+            container.start(sim)
+        else:
+            container.start_immediately(now)
+        self.launches += 1
+        return container
+
+    def terminate(self, container_id: int) -> bool:
+        container = self._containers.pop(container_id, None)
+        if container is None:
+            return False
+        container.stop()
+        return True
+
+    def terminate_owner(self, owner: str) -> int:
+        """Stop every container belonging to ``owner`` (PVN teardown)."""
+        doomed = [
+            cid for cid, c in self._containers.items() if c.owner == owner
+        ]
+        for cid in doomed:
+            self.terminate(cid)
+        return len(doomed)
+
+    def containers(self) -> list[Container]:
+        return list(self._containers.values())

@@ -1,0 +1,56 @@
+"""SDN substrate: match/action flow tables, switches, controller."""
+
+from repro.sdn.actions import (
+    Action,
+    Drop,
+    Mirror,
+    Output,
+    SetField,
+    ToChain,
+    Tunnel,
+)
+from repro.sdn.controller import Controller, InstalledRule
+from repro.sdn.flowtable import FlowRule, FlowTable
+from repro.sdn.match import MATCH_ANY, Match
+from repro.sdn.routing import (
+    install_path_rules,
+    path_stretch,
+    shortest_path,
+    waypointed_path,
+)
+from repro.sdn.switch import SdnSwitch
+from repro.sdn.verification import (
+    VerificationReport,
+    check_isolation,
+    check_loop_freedom,
+    check_no_blackholes,
+    trace_forwarding,
+    verify_all,
+)
+
+__all__ = [
+    "Action",
+    "Controller",
+    "Drop",
+    "FlowRule",
+    "FlowTable",
+    "InstalledRule",
+    "MATCH_ANY",
+    "Match",
+    "Mirror",
+    "Output",
+    "SdnSwitch",
+    "SetField",
+    "ToChain",
+    "Tunnel",
+    "VerificationReport",
+    "check_isolation",
+    "check_loop_freedom",
+    "check_no_blackholes",
+    "install_path_rules",
+    "path_stretch",
+    "shortest_path",
+    "trace_forwarding",
+    "verify_all",
+    "waypointed_path",
+]

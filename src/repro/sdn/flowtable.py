@@ -1,0 +1,102 @@
+"""Priority flow tables.
+
+Rules are matched highest-priority-first; ties break deterministically
+toward the more specific match, then the earlier-installed rule.  Each
+rule carries the ``pvn_id`` of the deployment that installed it so
+teardown and isolation audits can find them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.errors import ConfigurationError, PolicyConflictError
+from repro.netsim.packet import Packet
+from repro.sdn.actions import Action
+from repro.sdn.match import Match
+
+_rule_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class FlowRule:
+    """One match/action rule."""
+
+    match: Match
+    actions: tuple[Action, ...]
+    priority: int = 100
+    pvn_id: str = ""
+    rule_id: int = dataclasses.field(default_factory=lambda: next(_rule_ids))
+    packets_matched: int = 0
+    bytes_matched: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise ConfigurationError("a flow rule needs at least one action")
+        if self.priority < 0:
+            raise ConfigurationError("priority must be >= 0")
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (-self.priority, -self.match.specificity(), self.rule_id)
+
+
+class FlowTable:
+    """An ordered rule table with overlap detection."""
+
+    def __init__(self, name: str = "table0") -> None:
+        self.name = name
+        self._rules: list[FlowRule] = []
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> list[FlowRule]:
+        return list(self._rules)
+
+    def install(self, rule: FlowRule, reject_ambiguous: bool = False) -> None:
+        """Add a rule.
+
+        With ``reject_ambiguous`` the install fails if an existing rule
+        at the *same priority* could match the same packets — the
+        invariant check the paper says PVNs use to avoid configuration
+        conflicts (§3.2).
+        """
+        if reject_ambiguous:
+            for existing in self._rules:
+                if (
+                    existing.priority == rule.priority
+                    and existing.match.could_overlap(rule.match)
+                ):
+                    raise PolicyConflictError(
+                        f"rule overlaps existing rule {existing.rule_id} "
+                        f"at priority {rule.priority}"
+                    )
+        self._rules.append(rule)
+        self._rules.sort(key=FlowRule.sort_key)
+
+    def remove(self, rule_id: int) -> bool:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.rule_id != rule_id]
+        return len(self._rules) < before
+
+    def remove_pvn(self, pvn_id: str) -> int:
+        """Remove every rule installed by a PVN; returns the count."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.pvn_id != pvn_id]
+        return before - len(self._rules)
+
+    def lookup(self, packet: Packet) -> FlowRule | None:
+        """The winning rule for ``packet``, with stats updated."""
+        for rule in self._rules:
+            if rule.match.matches(packet):
+                rule.packets_matched += 1
+                rule.bytes_matched += packet.size
+                return rule
+        self.misses += 1
+        return None
+
+    def rules_for_pvn(self, pvn_id: str) -> list[FlowRule]:
+        return [r for r in self._rules if r.pvn_id == pvn_id]

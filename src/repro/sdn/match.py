@@ -1,0 +1,100 @@
+"""Match fields for flow rules.
+
+A :class:`Match` is a conjunction of optional predicates over the
+packet five-tuple plus the PVN ``owner`` tag.  ``owner`` is how
+per-user isolation is expressed in the data plane: the compiler tags
+every rule of a user's PVN with that user, so a rule can never capture
+another subscriber's traffic (§3.3 "Avoiding harm from user
+configurations").
+
+Unset fields are wildcards.  IP fields accept CIDR prefixes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.netproto.addresses import ip_in_subnet
+from repro.netsim.packet import Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class Match:
+    """A conjunction of optional packet predicates."""
+
+    src_cidr: str | None = None
+    dst_cidr: str | None = None
+    protocol: str | None = None
+    src_port: int | None = None
+    dst_port: int | None = None
+    owner: str | None = None
+
+    def matches(self, packet: Packet) -> bool:
+        """True iff every set predicate holds for ``packet``."""
+        if self.protocol is not None and packet.protocol != self.protocol:
+            return False
+        if self.src_port is not None and packet.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and packet.dst_port != self.dst_port:
+            return False
+        if self.owner is not None and packet.owner != self.owner:
+            return False
+        if self.src_cidr is not None and not ip_in_subnet(packet.src, self.src_cidr):
+            return False
+        if self.dst_cidr is not None and not ip_in_subnet(packet.dst, self.dst_cidr):
+            return False
+        return True
+
+    def specificity(self) -> int:
+        """How many bits of packet this match constrains (for conflicts).
+
+        IP prefixes contribute their prefix length; exact fields
+        contribute fixed weights.  Higher = more specific.
+        """
+        score = 0
+        for cidr in (self.src_cidr, self.dst_cidr):
+            if cidr is not None:
+                score += int(cidr.split("/")[1]) if "/" in cidr else 32
+        if self.protocol is not None:
+            score += 8
+        for port in (self.src_port, self.dst_port):
+            if port is not None:
+                score += 16
+        if self.owner is not None:
+            score += 16
+        return score
+
+    def could_overlap(self, other: "Match") -> bool:
+        """Conservative overlap test: can some packet match both?
+
+        Exact fields must agree when both set; CIDR fields must nest.
+        False negatives are impossible; false positives are acceptable
+        (they just trigger a priority check at install time).
+        """
+        for mine, theirs in (
+            (self.protocol, other.protocol),
+            (self.src_port, other.src_port),
+            (self.dst_port, other.dst_port),
+            (self.owner, other.owner),
+        ):
+            if mine is not None and theirs is not None and mine != theirs:
+                return False
+        for mine, theirs in (
+            (self.src_cidr, other.src_cidr),
+            (self.dst_cidr, other.dst_cidr),
+        ):
+            if mine is not None and theirs is not None:
+                if not _cidrs_overlap(mine, theirs):
+                    return False
+        return True
+
+
+def _cidrs_overlap(a: str, b: str) -> bool:
+    """True if two CIDR blocks intersect (one contains the other)."""
+    base_a = a.split("/")[0]
+    base_b = b.split("/")[0]
+    return ip_in_subnet(base_a, b) or ip_in_subnet(base_b, a)
+
+
+#: The lowest-priority catch-all used for table-miss handling.
+MATCH_ANY = Match()

@@ -1,0 +1,81 @@
+"""Path computation and path-rule generation.
+
+Given a :class:`~repro.netsim.topology.PhysicalTopology` and a
+controller, these helpers install the forwarding rules that realise a
+path — either plain shortest paths for baseline traffic or waypointed
+paths that visit the NFV host carrying a PVN's middlebox chain.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.netsim.topology import PhysicalTopology
+from repro.sdn.actions import Output
+from repro.sdn.controller import Controller
+from repro.sdn.match import Match
+
+
+def shortest_path(topo: PhysicalTopology, src: str, dst: str) -> list[str]:
+    """Latency-weighted shortest path, raising on disconnection."""
+    try:
+        return nx.shortest_path(topo.graph, src, dst, weight="latency")
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise ConfigurationError(f"no path {src} -> {dst}: {exc}") from exc
+
+
+def waypointed_path(
+    topo: PhysicalTopology, src: str, dst: str, waypoints: list[str]
+) -> list[str]:
+    """Shortest path visiting ``waypoints`` in order (loops allowed).
+
+    This is how traffic is steered through the NFV host(s) carrying a
+    PVN's chain: src -> w1 -> w2 -> ... -> dst, each leg shortest-path.
+    """
+    stops = [src, *waypoints, dst]
+    full: list[str] = [src]
+    for a, b in zip(stops, stops[1:]):
+        leg = shortest_path(topo, a, b)
+        full.extend(leg[1:])
+    return full
+
+
+def path_stretch(
+    topo: PhysicalTopology, src: str, dst: str, waypoints: list[str]
+) -> float:
+    """Latency of the waypointed path over the direct shortest path.
+
+    1.0 = on-path placement (no stretch); the auditor's path-inflation
+    test flags deployments whose measured stretch exceeds what the
+    offered topology implies.
+    """
+    direct = topo.path_latency(shortest_path(topo, src, dst))
+    via = topo.path_latency(waypointed_path(topo, src, dst, waypoints))
+    if direct <= 0:
+        return 1.0
+    return via / direct
+
+
+def install_path_rules(
+    controller: Controller,
+    path: list[str],
+    match: Match,
+    priority: int = 100,
+    pvn_id: str = "",
+) -> int:
+    """Install ``Output`` rules along ``path`` for packets matching.
+
+    Only nodes the controller manages (SDN switches) get rules; hosts
+    and plain routers on the path are skipped.  Returns the number of
+    rules installed.
+    """
+    installed = 0
+    for node, nxt in zip(path, path[1:]):
+        if node not in controller.switch_names:
+            continue
+        controller.install(
+            node, match, (Output(nxt),), priority=priority, pvn_id=pvn_id
+        )
+        installed += 1
+    return installed

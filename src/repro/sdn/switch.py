@@ -1,0 +1,135 @@
+"""The SDN switch: a node that forwards according to its flow table.
+
+Chain actions hand the packet to a registered chain executor (the NFV
+layer registers these); the executor returns the packet to continue —
+possibly modified — or ``None`` if the chain consumed or dropped it.
+Tunnel actions hand the packet to a registered tunnel encapsulator the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.sdn.actions import Drop, Mirror, Output, SetField, ToChain, Tunnel
+from repro.sdn.flowtable import FlowTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.link import Link
+    from repro.netsim.simulator import Simulator
+
+ChainExecutor = Callable[[Packet, str], Packet | None]
+TunnelEncap = Callable[[Packet, str], None]
+PacketInHandler = Callable[["SdnSwitch", Packet], None]
+
+
+class SdnSwitch(Node):
+    """A match/action forwarding element."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        super().__init__(sim, name)
+        self.table = FlowTable(name=f"{name}.table0")
+        self._chain_executors: dict[str, ChainExecutor] = {}
+        self._tunnel_encaps: dict[str, TunnelEncap] = {}
+        self._packet_in: PacketInHandler | None = None
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+
+    # -- control-plane wiring ----------------------------------------------
+
+    def bind_chain(self, chain_id: str, executor: ChainExecutor) -> None:
+        """Register the executor invoked by ``ToChain(chain_id)``."""
+        self._chain_executors[chain_id] = executor
+
+    def bind_tunnel(self, endpoint: str, encap: TunnelEncap) -> None:
+        """Register the encapsulator invoked by ``Tunnel(endpoint)``."""
+        self._tunnel_encaps[endpoint] = encap
+
+    def set_packet_in_handler(self, handler: PacketInHandler | None) -> None:
+        """Table-miss handler (the controller registers itself here)."""
+        self._packet_in = handler
+
+    # -- data plane ----------------------------------------------------------
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        super().receive(packet, link)
+        self.process(packet)
+
+    def process(self, packet: Packet) -> None:
+        """Run ``packet`` through the table and apply the winning rule."""
+        rule = self.table.lookup(packet)
+        if rule is None:
+            if self._packet_in is not None:
+                self._packet_in(self, packet)
+            else:
+                self.packets_dropped += 1
+                packet.mark_dropped(f"table miss at {self.name}")
+            return
+        self.apply_actions(packet, rule.actions)
+
+    def apply_actions(self, packet: Packet, actions: tuple) -> None:
+        for action in actions:
+            if isinstance(action, Drop):
+                self.packets_dropped += 1
+                packet.mark_dropped(f"{action.reason} at {self.name}")
+                return
+            if isinstance(action, SetField):
+                action.apply(packet)
+                continue
+            if isinstance(action, Mirror):
+                clone = packet.copy()
+                clone.metadata["mirrored_from"] = self.name
+                self.send(clone, via=action.neighbor)
+                continue
+            if isinstance(action, ToChain):
+                self._run_chain(packet, action)
+                return
+            if isinstance(action, Tunnel):
+                self._run_tunnel(packet, action)
+                return
+            if isinstance(action, Output):
+                self.packets_forwarded += 1
+                self.send(packet, via=action.neighbor)
+                return
+            raise ConfigurationError(f"unknown action {action!r}")
+        # An action list that never forwarded nor dropped is a config bug;
+        # fail loudly rather than silently blackholing.
+        raise ConfigurationError(
+            f"rule actions for packet {packet.packet_id} at {self.name} "
+            "did not terminate (missing Output/Drop)"
+        )
+
+    def _run_chain(self, packet: Packet, action: ToChain) -> None:
+        executor = self._chain_executors.get(action.chain_id)
+        if executor is None:
+            self.packets_dropped += 1
+            packet.mark_dropped(
+                f"chain {action.chain_id} not bound at {self.name}"
+            )
+            return
+        result = executor(packet, action.chain_id)
+        if result is None:
+            return  # chain consumed (blocked/tunneled) the packet
+        if action.resume_neighbor:
+            self.packets_forwarded += 1
+            # Executors report middlebox processing time out of band so
+            # the data plane can charge it before resuming.
+            delay = float(result.metadata.pop("chain_delay", 0.0))
+            if delay > 0:
+                self.sim.schedule(delay, self.send, result,
+                                  action.resume_neighbor)
+            else:
+                self.send(result, via=action.resume_neighbor)
+
+    def _run_tunnel(self, packet: Packet, action: Tunnel) -> None:
+        encap = self._tunnel_encaps.get(action.endpoint)
+        if encap is None:
+            self.packets_dropped += 1
+            packet.mark_dropped(
+                f"tunnel to {action.endpoint} not bound at {self.name}"
+            )
+            return
+        encap(packet, action.endpoint)

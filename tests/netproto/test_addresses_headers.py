@@ -1,0 +1,134 @@
+"""Tests for address helpers and wire-format headers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, ProtocolError
+from repro.netproto import (
+    EthernetHeader,
+    Ipv4Header,
+    SubnetAllocator,
+    TcpHeader,
+    UdpHeader,
+    int_to_ip,
+    internet_checksum,
+    ip_in_subnet,
+    ip_to_int,
+    parse_cidr,
+)
+from repro.netproto.headers import FLAG_ACK, FLAG_SYN
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert int_to_ip(ip_to_int("192.168.1.42")) == "192.168.1.42"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1", ""])
+    def test_invalid_addresses(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+
+    def test_parse_cidr(self):
+        network, plen = parse_cidr("10.1.2.3/16")
+        assert int_to_ip(network) == "10.1.0.0"
+        assert plen == 16
+
+    def test_parse_cidr_host(self):
+        network, plen = parse_cidr("10.1.2.3")
+        assert plen == 32 and int_to_ip(network) == "10.1.2.3"
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0/33", "10.0.0.0/x"])
+    def test_bad_cidr(self, bad):
+        with pytest.raises(AddressError):
+            parse_cidr(bad)
+
+    def test_subnet_membership(self):
+        assert ip_in_subnet("10.1.2.3", "10.0.0.0/8")
+        assert not ip_in_subnet("11.1.2.3", "10.0.0.0/8")
+        assert ip_in_subnet("1.2.3.4", "0.0.0.0/0")
+
+    def test_allocator_sequential_and_exhaustion(self):
+        alloc = SubnetAllocator("10.0.0.0/30")  # 2 usable hosts
+        assert alloc.allocate() == "10.0.0.1"
+        assert alloc.allocate() == "10.0.0.2"
+        with pytest.raises(AddressError):
+            alloc.allocate()
+        assert alloc.allocated_count == 2
+
+
+class TestChecksum:
+    def test_known_zero(self):
+        data = b"\x00\x01\xf2\x03\xf4\xf5\xf6\xf7"
+        checksum = internet_checksum(data)
+        # Folding the checksum back in must verify to zero.
+        verified = internet_checksum(data[:len(data)] + bytes([checksum >> 8, checksum & 0xFF]))
+        assert verified == 0
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader("aa:bb:cc:dd:ee:ff", "11:22:33:44:55:66")
+        assert EthernetHeader.unpack(header.pack()) == header
+
+    def test_truncated(self):
+        with pytest.raises(ProtocolError):
+            EthernetHeader.unpack(b"\x00" * 5)
+
+    def test_bad_mac(self):
+        with pytest.raises(ProtocolError):
+            EthernetHeader("nope", "11:22:33:44:55:66").pack()
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        header = Ipv4Header(src="10.0.0.1", dst="8.8.8.8", protocol=6,
+                            ttl=63, total_length=1500, identification=7)
+        assert Ipv4Header.unpack(header.pack()) == header
+
+    def test_checksum_detects_corruption(self):
+        raw = bytearray(Ipv4Header(src="10.0.0.1", dst="8.8.8.8").pack())
+        raw[16] ^= 0xFF  # corrupt destination address
+        with pytest.raises(ProtocolError):
+            Ipv4Header.unpack(bytes(raw))
+
+    def test_ttl_decrement(self):
+        header = Ipv4Header(src="10.0.0.1", dst="8.8.8.8", ttl=2)
+        assert header.decremented().ttl == 1
+        with pytest.raises(ProtocolError):
+            Ipv4Header(src="10.0.0.1", dst="8.8.8.8", ttl=0).decremented()
+
+    @given(
+        src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ttl=st.integers(min_value=1, max_value=255),
+    )
+    def test_roundtrip_property(self, src, dst, ttl):
+        header = Ipv4Header(src=int_to_ip(src), dst=int_to_ip(dst), ttl=ttl)
+        assert Ipv4Header.unpack(header.pack()) == header
+
+
+class TestTcpUdp:
+    def test_tcp_roundtrip_and_flags(self):
+        header = TcpHeader(src_port=443, dst_port=50123, seq=100, ack=200,
+                           flags=FLAG_SYN | FLAG_ACK)
+        parsed = TcpHeader.unpack(header.pack())
+        assert parsed == header
+        assert parsed.is_syn and parsed.is_ack
+        assert not parsed.is_fin and not parsed.is_rst
+
+    def test_udp_roundtrip(self):
+        header = UdpHeader(src_port=53, dst_port=3333, length=100)
+        assert UdpHeader.unpack(header.pack()) == header
+
+    def test_truncated(self):
+        with pytest.raises(ProtocolError):
+            TcpHeader.unpack(b"123")
+        with pytest.raises(ProtocolError):
+            UdpHeader.unpack(b"123")

@@ -1,0 +1,160 @@
+"""Tests for flow-level models and topology builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import (
+    AccessNetworkSpec,
+    PathCharacteristics,
+    PhysicalTopology,
+    attach_device,
+    build_access_network,
+    build_multihomed_access,
+    build_wide_area,
+)
+from repro.netsim.flows import (
+    DEFAULT_BITRATE_LADDER_BPS,
+    WebPage,
+    page_load_time,
+    stream_video,
+    synth_page,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+GOOD = PathCharacteristics(rtt=0.04, loss_rate=0.001, bandwidth_bps=50e6)
+POOR = PathCharacteristics(rtt=0.25, loss_rate=0.02, bandwidth_bps=2e6)
+
+
+class TestWebPages:
+    def test_synth_page_sizes_positive(self):
+        page = synth_page(rng(), n_objects=30)
+        assert len(page.object_sizes) == 30
+        assert all(size >= 400 for size in page.object_sizes)
+        assert page.total_bytes == sum(page.object_sizes)
+
+    def test_plt_worse_on_poor_path(self):
+        page = synth_page(rng(1))
+        fast = page_load_time(page, GOOD, rng(2))
+        slow = page_load_time(page, POOR, rng(2))
+        assert slow > 2 * fast
+
+    def test_plt_increases_with_per_request_overhead(self):
+        page = WebPage(object_sizes=[10_000] * 12, connections=6)
+        base = page_load_time(page, GOOD, rng(3))
+        loaded = page_load_time(page, GOOD, rng(3), per_request_overhead=0.05)
+        assert loaded > base + 0.05  # at least one object per lane
+
+    def test_more_connections_help(self):
+        sizes = [20_000] * 24
+        serial = page_load_time(WebPage(sizes, connections=1), GOOD, rng(4))
+        parallel = page_load_time(WebPage(sizes, connections=8), GOOD, rng(4))
+        assert parallel < serial
+
+
+class TestVideoStreaming:
+    def test_throttle_to_1_5mbps_prevents_hd(self):
+        """The Binge On observation: 1.5 Mbps shaping yields sub-HD."""
+        session = stream_video(60.0, available_bps=1_500_000)
+        assert not session.is_hd
+        assert session.chosen_bitrate_bps <= 1_500_000
+
+    def test_unthrottled_fast_link_reaches_hd(self):
+        session = stream_video(60.0, available_bps=20e6)
+        assert session.is_hd
+        assert session.chosen_label == "1080p"
+
+    def test_zero_rating_spares_quota(self):
+        rated = stream_video(60.0, available_bps=1_500_000, zero_rated=False)
+        free = stream_video(60.0, available_bps=1_500_000, zero_rated=True)
+        assert rated.bytes_charged_to_quota == rated.bytes_downloaded > 0
+        assert free.bytes_charged_to_quota == 0
+        assert free.bytes_downloaded == rated.bytes_downloaded
+
+    def test_rebuffers_when_below_lowest_rung(self):
+        session = stream_video(30.0, available_bps=200_000)
+        assert session.rebuffer_events > 0
+        assert session.chosen_bitrate_bps == DEFAULT_BITRATE_LADDER_BPS[0]
+
+    def test_bytes_scale_with_duration(self):
+        short = stream_video(30.0, available_bps=5e6)
+        long = stream_video(120.0, available_bps=5e6)
+        assert long.bytes_downloaded == pytest.approx(
+            4 * short.bytes_downloaded, rel=0.01
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            stream_video(0.0, available_bps=1e6)
+        with pytest.raises(ConfigurationError):
+            stream_video(10.0, available_bps=0.0)
+
+
+class TestTopology:
+    def test_access_network_has_expected_parts(self):
+        topo = build_access_network()
+        assert topo.nodes_of_kind("ap") == ["ap0", "ap1"]
+        assert topo.nodes_of_kind("nfv") == ["nfv0", "nfv1"]
+        assert topo.nodes_of_kind("gateway") == ["gw"]
+        assert set(topo.nodes_of_kind("middlebox")) == {"pmb_cache", "pmb_tcp_proxy"}
+
+    def test_attach_device_and_rtt(self):
+        topo = build_access_network()
+        attach_device(topo, "phone", ap="ap0")
+        rtt = topo.rtt("phone", "gw")
+        # wireless 8ms + 3 backhaul hops, round trip => ~28ms + serialisation
+        assert 0.02 < rtt < 0.05
+
+    def test_wide_area_rtts_reflect_spec(self):
+        topo = build_wide_area(build_access_network(), cloud_rtt=0.040)
+        rtt = topo.rtt("gw", "cloud", size_bytes=0)
+        assert rtt == pytest.approx(0.040, rel=0.01)
+
+    def test_multihomed_has_two_gateways(self):
+        topo = build_multihomed_access()
+        assert set(topo.nodes_of_kind("gateway")) == {"gw", "gw_cell"}
+
+    def test_unknown_kind_rejected(self):
+        topo = PhysicalTopology()
+        with pytest.raises(ConfigurationError):
+            topo.add_node("x", kind="blackhole")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = PhysicalTopology()
+        topo.add_node("a", kind="switch")
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "ghost", 0.001, 1e9)
+
+    def test_path_metrics(self):
+        topo = PhysicalTopology()
+        for name in ("a", "b", "c"):
+            topo.add_node(name, kind="switch")
+        topo.add_link("a", "b", 0.010, 100e6, loss_rate=0.01)
+        topo.add_link("b", "c", 0.020, 10e6, loss_rate=0.02)
+        path = topo.shortest_path("a", "c")
+        assert path == ["a", "b", "c"]
+        assert topo.path_latency(path, size_bytes=0) == pytest.approx(0.030)
+        assert topo.path_bottleneck_bps(path) == 10e6
+        expected_loss = 1 - 0.99 * 0.98
+        assert topo.path_loss_rate(path) == pytest.approx(expected_loss)
+
+    def test_instantiate_produces_live_nodes(self):
+        from repro.netsim import Packet, Simulator
+
+        topo = PhysicalTopology()
+        topo.add_node("h1", kind="host")
+        topo.add_node("s", kind="switch")
+        topo.add_node("h2", kind="host")
+        topo.add_link("h1", "s", 0.001, 1e9)
+        topo.add_link("s", "h2", 0.001, 1e9)
+        sim = Simulator()
+        nodes = topo.instantiate(sim, host_ips={"h1": "10.0.0.1", "h2": "10.0.0.2"})
+        nodes["s"].add_route("10.0.0.2/32", "h2")
+        pkt = Packet(src="10.0.0.1", dst="10.0.0.2", size=100)
+        nodes["h1"].originate(pkt, via="s")
+        sim.run()
+        assert pkt.trail == ["h1", "s", "h2"]

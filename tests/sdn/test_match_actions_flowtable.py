@@ -1,0 +1,185 @@
+"""Tests for match semantics, actions, and the flow table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, PolicyConflictError
+from repro.netsim import Packet
+from repro.sdn import (
+    MATCH_ANY,
+    Drop,
+    FlowRule,
+    FlowTable,
+    Match,
+    Output,
+    SetField,
+)
+
+
+def pkt(**kwargs):
+    defaults = dict(src="10.0.0.5", dst="93.184.216.34", protocol="tcp",
+                    src_port=40000, dst_port=443, owner="alice", size=100)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestMatch:
+    def test_wildcard_matches_everything(self):
+        assert MATCH_ANY.matches(pkt())
+        assert MATCH_ANY.matches(pkt(protocol="udp", owner="bob"))
+
+    def test_exact_fields(self):
+        match = Match(protocol="tcp", dst_port=443, owner="alice")
+        assert match.matches(pkt())
+        assert not match.matches(pkt(protocol="udp"))
+        assert not match.matches(pkt(dst_port=80))
+        assert not match.matches(pkt(owner="bob"))
+
+    def test_cidr_fields(self):
+        match = Match(src_cidr="10.0.0.0/8", dst_cidr="93.184.216.34/32")
+        assert match.matches(pkt())
+        assert not match.matches(pkt(src="192.168.0.1"))
+        assert not match.matches(pkt(dst="93.184.216.35"))
+
+    def test_specificity_ordering(self):
+        assert Match().specificity() == 0
+        narrow = Match(src_cidr="10.0.0.5/32", dst_port=443, owner="a")
+        wide = Match(src_cidr="10.0.0.0/8")
+        assert narrow.specificity() > wide.specificity()
+
+    def test_could_overlap_disjoint_fields(self):
+        a = Match(protocol="tcp")
+        b = Match(protocol="udp")
+        assert not a.could_overlap(b)
+
+    def test_could_overlap_nested_cidrs(self):
+        a = Match(dst_cidr="10.0.0.0/8")
+        b = Match(dst_cidr="10.1.0.0/16")
+        assert a.could_overlap(b)
+        c = Match(dst_cidr="11.0.0.0/8")
+        assert not b.could_overlap(c)
+
+    def test_could_overlap_wildcards(self):
+        assert MATCH_ANY.could_overlap(Match(protocol="tcp", owner="x"))
+
+    @given(
+        port=st.integers(min_value=1, max_value=65535),
+        owner=st.sampled_from(["alice", "bob", "carol"]),
+    )
+    def test_match_is_deterministic(self, port, owner):
+        match = Match(dst_port=port, owner=owner)
+        packet = pkt(dst_port=port, owner=owner)
+        assert match.matches(packet)
+        assert match.matches(packet)
+
+
+class TestActions:
+    def test_set_field_applies(self):
+        packet = pkt()
+        SetField("dst", "1.2.3.4").apply(packet)
+        assert packet.dst == "1.2.3.4"
+
+    def test_set_field_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            SetField("size", 9000)
+
+    def test_set_field_rejects_metadata_writes(self):
+        with pytest.raises(ConfigurationError):
+            SetField("metadata", {})
+
+
+class TestFlowTable:
+    def test_priority_wins(self):
+        table = FlowTable()
+        low = FlowRule(match=MATCH_ANY, actions=(Output("default"),), priority=1)
+        high = FlowRule(match=Match(dst_port=443),
+                        actions=(Output("chain"),), priority=200)
+        table.install(low)
+        table.install(high)
+        assert table.lookup(pkt(dst_port=443)) is high
+        assert table.lookup(pkt(dst_port=80)) is low
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable()
+        wide = FlowRule(match=Match(protocol="tcp"),
+                        actions=(Output("a"),), priority=100)
+        narrow = FlowRule(match=Match(protocol="tcp", dst_port=443),
+                          actions=(Output("b"),), priority=100)
+        table.install(wide)
+        table.install(narrow)
+        assert table.lookup(pkt(dst_port=443)) is narrow
+
+    def test_install_order_breaks_remaining_ties(self):
+        table = FlowTable()
+        first = FlowRule(match=Match(dst_port=443), actions=(Output("a"),))
+        second = FlowRule(match=Match(dst_port=443), actions=(Output("b"),))
+        table.install(second)
+        table.install(first)
+        # Same priority, same specificity: earlier-created rule_id wins.
+        assert table.lookup(pkt(dst_port=443) ) is first
+
+    def test_miss_counted(self):
+        table = FlowTable()
+        assert table.lookup(pkt()) is None
+        assert table.misses == 1
+
+    def test_stats_updated(self):
+        table = FlowTable()
+        rule = FlowRule(match=MATCH_ANY, actions=(Output("x"),))
+        table.install(rule)
+        table.lookup(pkt(size=100))
+        table.lookup(pkt(size=50))
+        assert rule.packets_matched == 2
+        assert rule.bytes_matched == 150
+
+    def test_reject_ambiguous_same_priority_overlap(self):
+        table = FlowTable()
+        table.install(FlowRule(match=Match(dst_cidr="10.0.0.0/8"),
+                               actions=(Output("a"),), priority=50))
+        with pytest.raises(PolicyConflictError):
+            table.install(
+                FlowRule(match=Match(dst_cidr="10.1.0.0/16"),
+                         actions=(Output("b"),), priority=50),
+                reject_ambiguous=True,
+            )
+
+    def test_ambiguity_ok_at_different_priorities(self):
+        table = FlowTable()
+        table.install(FlowRule(match=Match(dst_cidr="10.0.0.0/8"),
+                               actions=(Output("a"),), priority=50))
+        table.install(
+            FlowRule(match=Match(dst_cidr="10.1.0.0/16"),
+                     actions=(Output("b"),), priority=60),
+            reject_ambiguous=True,
+        )
+        assert len(table) == 2
+
+    def test_remove_by_id_and_pvn(self):
+        table = FlowTable()
+        keep = FlowRule(match=MATCH_ANY, actions=(Output("x"),), pvn_id="")
+        mine = FlowRule(match=Match(owner="alice"), actions=(Drop(),),
+                        pvn_id="alice/dep1")
+        also = FlowRule(match=Match(owner="alice", dst_port=53),
+                        actions=(Drop(),), pvn_id="alice/dep1")
+        for rule in (keep, mine, also):
+            table.install(rule)
+        assert table.remove_pvn("alice/dep1") == 2
+        assert len(table) == 1
+        assert table.remove(keep.rule_id)
+        assert not table.remove(keep.rule_id)
+
+    def test_rule_requires_actions(self):
+        with pytest.raises(ConfigurationError):
+            FlowRule(match=MATCH_ANY, actions=())
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowRule(match=MATCH_ANY, actions=(Drop(),), priority=-1)
+
+    def test_rules_for_pvn(self):
+        table = FlowTable()
+        rule = FlowRule(match=Match(owner="bob"), actions=(Drop(),),
+                        pvn_id="bob/d")
+        table.install(rule)
+        assert table.rules_for_pvn("bob/d") == [rule]
+        assert table.rules_for_pvn("ghost") == []

@@ -1,0 +1,40 @@
+"""Guard tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["deployed: True", "[REDACTED]", "drop"],
+    "secure_roaming.py": ["BLACKLISTED", "billing dispute",
+                          "deployed=True via isp-rescue"],
+    "privacy_guard.py": ["all PII protected", "protected"],
+    "video_optimizer.py": ["speedup", "binge-on"],
+    "pvnc_playground.py": ["rejected:", "within the 4.0 budget"],
+    "iot_guardian.py": ["not visible", "blurred"],
+}
+
+
+def test_every_example_has_expectations():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_MARKERS), (
+        "keep EXPECTED_MARKERS in sync with examples/"
+    )
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script.name]:
+        assert marker in result.stdout, (
+            f"{script.name} output missing {marker!r}"
+        )
