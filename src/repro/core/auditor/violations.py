@@ -72,11 +72,45 @@ class EvidenceLedger:
         self._records.append(record)
         return record
 
+    def record_fault(
+        self,
+        time: float,
+        provider: str,
+        deployment_id: str,
+        kind: str,
+        detail: str,
+    ) -> ViolationRecord:
+        """Append fault/repair/degradation evidence (§3.1).
+
+        Faults are service events, not policy violations, but they are
+        evidence all the same: a provider whose middleboxes crash is
+        accountable for the outage history when billing is disputed.
+        They are stored with ``test="fault:<kind>"`` so violation
+        queries can keep the two apart.
+        """
+        record = ViolationRecord(
+            time=time, provider=provider, deployment_id=deployment_id,
+            test=f"fault:{kind}", detail=detail,
+        )
+        self._records.append(record)
+        return record
+
     def violations_for(self, provider: str) -> list[ViolationRecord]:
-        return [r for r in self._records if r.provider == provider]
+        return [
+            r for r in self._records
+            if r.provider == provider and not r.test.startswith("fault:")
+        ]
 
     def violation_count(self, provider: str) -> int:
         return len(self.violations_for(provider))
+
+    def fault_records(self, provider: str | None = None) -> list[ViolationRecord]:
+        """Fault/repair/degradation evidence, optionally per provider."""
+        return [
+            r for r in self._records
+            if r.test.startswith("fault:")
+            and (provider is None or r.provider == provider)
+        ]
 
     def all_records(self) -> list[ViolationRecord]:
         return list(self._records)

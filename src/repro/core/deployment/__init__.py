@@ -12,10 +12,15 @@ from repro.core.deployment.isolation import (
     sweep_deployments,
 )
 from repro.core.deployment.lifecycle import (
+    HealthReport,
     LeaseTable,
     MigrationResult,
+    RepairResult,
+    degrade_to_tunnel,
+    health_check,
     migrate_device,
     refresh_address,
+    repair_deployment,
     sweep_expired,
 )
 from repro.core.deployment.manager import (
@@ -28,6 +33,11 @@ from repro.core.deployment.manager import (
     DeploymentState,
     PvnDataPath,
 )
+from repro.core.deployment.recovery import (
+    RecoveryEvent,
+    RecoveryPolicy,
+    RobustnessSupervisor,
+)
 
 __all__ = [
     "ACTION_DROP",
@@ -38,16 +48,24 @@ __all__ = [
     "DeploymentManager",
     "DeploymentState",
     "EmbeddingResult",
+    "HealthReport",
     "IsolationReport",
     "LeaseTable",
     "MigrationResult",
     "PvnDataPath",
+    "RecoveryEvent",
+    "RecoveryPolicy",
+    "RepairResult",
+    "RobustnessSupervisor",
     "admission_headroom",
+    "degrade_to_tunnel",
     "embed_pvn",
     "estimate_max_subscribers",
+    "health_check",
     "migrate_device",
     "probe_cross_user",
     "refresh_address",
+    "repair_deployment",
     "sweep_deployments",
     "sweep_expired",
 ]

@@ -7,6 +7,12 @@
   renegotiation.
 * **Expiry sweeps** — deployments are leased; unfunded leases are torn
   down, freeing NFV capacity.
+* **Health & repair** — crashed middlebox containers are restarted in
+  place, or re-embedded onto live hosts when their original host died.
+* **Degradation** — a deployment that cannot be repaired within budget
+  falls back to :mod:`repro.core.tunneling` VPN mode (the paper's
+  incremental-deployment story run in reverse: when the in-network PVN
+  breaks, the tunnel keeps the user's policies alive end-to-end).
 """
 
 from __future__ import annotations
@@ -19,8 +25,10 @@ from repro.core.deployment.manager import (
     DeploymentManager,
     DeploymentState,
 )
-from repro.errors import DeploymentError
+from repro.core.tunneling.vpn import FullTunnel
+from repro.errors import DeploymentError, ReproError
 from repro.netproto.dhcp import DhcpServer, Lease
+from repro.nfv.container import Container, ContainerState
 
 
 def refresh_address(
@@ -93,6 +101,187 @@ class LeaseTable:
             deployment_id for deployment_id, until in self.leases.items()
             if until < now
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthReport:
+    """One deployment's health at a point in time."""
+
+    deployment_id: str
+    healthy: bool
+    crashed_services: tuple[str, ...]
+    dead_hosts: tuple[str, ...]
+
+
+def health_check(
+    manager: DeploymentManager, deployment_id: str
+) -> HealthReport:
+    """Inspect one deployment's containers and their hosts."""
+    deployment = manager.deployment(deployment_id)
+    crashed = deployment.crashed_services()
+    embedding_hosts = {
+        d.node for d in deployment.embedding.plan.decisions
+        if not d.reused_physical
+    }
+    dead = tuple(sorted(
+        node for node in embedding_hosts
+        if node in manager.hosts and not manager.hosts[node].alive
+    ))
+    return HealthReport(
+        deployment_id=deployment_id,
+        healthy=(deployment.state is DeploymentState.ACTIVE
+                 and not crashed and not dead),
+        crashed_services=crashed,
+        dead_hosts=dead,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairResult:
+    """What one repair attempt achieved."""
+
+    repaired: bool
+    restarted: tuple[str, ...] = ()   # rebooted on their original host
+    moved: tuple[str, ...] = ()       # re-embedded onto a live host
+    reason: str = ""
+
+
+def repair_deployment(
+    manager: DeploymentManager, deployment_id: str, now: float
+) -> RepairResult:
+    """Bring a damaged deployment back to full health, if possible.
+
+    Crashed containers whose host is still alive are restarted in
+    place (one instantiation time).  Containers stranded on a dead
+    host are re-embedded: :func:`embed_pvn` re-places the chain over
+    the surviving hosts and down-link-free paths, and fresh containers
+    are launched at the new locations.  Failure to re-embed (capacity
+    exhausted, network partitioned) is reported, not raised — the
+    caller's repair budget decides when to degrade to tunneling.
+    """
+    deployment = manager.deployment(deployment_id)
+    if deployment.state is not DeploymentState.ACTIVE:
+        return RepairResult(
+            repaired=False,
+            reason=f"deployment is {deployment.state.value}, not repairable",
+        )
+    crashed = deployment.crashed_services()
+    if not crashed:
+        return RepairResult(repaired=True, reason="already healthy")
+
+    host_by_service = {
+        d.service: d.node for d in deployment.embedding.plan.decisions
+    }
+    restarted: list[str] = []
+    stranded: list[str] = []
+    for service in crashed:
+        node = host_by_service.get(service, "")
+        host = manager.hosts.get(node)
+        if host is not None and host.alive:
+            container = deployment.containers[service]
+            if manager.sim is not None:
+                container.start(manager.sim)
+            else:
+                container.start_immediately(now)
+            restarted.append(service)
+        else:
+            stranded.append(service)
+
+    moved: list[str] = []
+    if stranded:
+        live_hosts = {
+            name: host for name, host in manager.hosts.items() if host.alive
+        }
+        try:
+            new_embedding = embed_pvn(
+                deployment.compiled, manager.topo, live_hosts,
+                device_node=deployment.embedding.device_node,
+                gateway_node=deployment.embedding.gateway_node,
+            )
+        except ReproError as exc:
+            return RepairResult(
+                repaired=False, restarted=tuple(restarted),
+                reason=f"re-embedding failed: {exc}",
+            )
+        new_nodes = {
+            d.service: d.node for d in new_embedding.plan.decisions
+        }
+        for service in stranded:
+            old = deployment.containers[service]
+            replacement = Container(
+                old.middlebox, spec=manager.container_spec,
+                owner=deployment.user,
+            )
+            target = live_hosts.get(new_nodes.get(service, ""))
+            try:
+                if target is not None:
+                    target.launch(replacement, sim=manager.sim, now=now)
+                else:
+                    replacement.start_immediately(now)
+            except ReproError as exc:
+                return RepairResult(
+                    repaired=False, restarted=tuple(restarted),
+                    moved=tuple(moved),
+                    reason=f"relaunch of {service} failed: {exc}",
+                )
+            deployment.containers[service] = replacement
+            moved.append(service)
+        deployment.embedding = new_embedding
+
+    deployment.repairs += 1
+    if manager.tracer is not None:
+        manager.tracer.emit(
+            now, "recovery", manager.provider, event="repaired",
+            deployment_id=deployment_id,
+            restarted=",".join(restarted), moved=",".join(moved),
+        )
+    return RepairResult(
+        repaired=True, restarted=tuple(restarted), moved=tuple(moved),
+        reason="repaired",
+    )
+
+
+def degrade_to_tunnel(
+    manager: DeploymentManager,
+    deployment_id: str,
+    endpoint: str,
+    now: float,
+) -> FullTunnel:
+    """Give up on the in-network chain and fall back to VPN mode.
+
+    The deployment's flow rules and containers are released, its data
+    path redirects every packet to ``endpoint``, and the deployment
+    enters :attr:`DeploymentState.DEGRADED` — still billed, still
+    auditable, but no longer running middleboxes in the access
+    network.  Returns the :class:`FullTunnel` modelling the fallback.
+    """
+    deployment = manager.deployment(deployment_id)
+    if deployment.state is DeploymentState.TORN_DOWN:
+        raise DeploymentError(
+            f"cannot degrade torn-down deployment {deployment_id}"
+        )
+    tunnel = FullTunnel(
+        manager.topo,
+        device_node=deployment.embedding.device_node,
+        endpoint_node=endpoint,
+        gateway_node=deployment.embedding.gateway_node,
+    )
+    if manager.controller is not None:
+        manager.controller.remove_pvn(deployment_id)
+    for host in manager.hosts.values():
+        host.terminate_owner(deployment.user)
+    for container in deployment.containers.values():
+        if container.state is not ContainerState.STOPPED:
+            container.stop()
+    deployment.datapath.degraded_to = endpoint
+    deployment.state = DeploymentState.DEGRADED
+    deployment.degraded_to = endpoint
+    if manager.tracer is not None:
+        manager.tracer.emit(
+            now, "recovery", manager.provider, event="degraded",
+            deployment_id=deployment_id, endpoint=endpoint,
+        )
+    return tunnel
 
 
 def sweep_expired(

@@ -40,7 +40,7 @@ from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import PhysicalTopology
 from repro.netsim.trace import Tracer
-from repro.nfv.container import Container, ContainerSpec
+from repro.nfv.container import Container, ContainerSpec, ContainerState
 from repro.nfv.hypervisor import NfvHost
 from repro.nfv.middlebox import Middlebox, ProcessingContext, VerdictKind
 from repro.nfv.sandbox import Capability, Sandbox
@@ -80,6 +80,7 @@ class PvnDataPath:
         tracer: Tracer | None = None,
         skip_services: frozenset[str] = frozenset(),
         trusted_execution: bool = False,
+        containers: dict[str, Container] | None = None,
     ) -> None:
         self.deployment_id = deployment_id
         self.compiled = compiled
@@ -91,6 +92,12 @@ class PvnDataPath:
         self.skip_services = skip_services   # dishonest-provider knob
         self.trusted_execution = trusted_execution
         self.packets_processed = 0
+        # Shared with the Deployment record: repairs that swap a
+        # container are visible here without re-plumbing.
+        self.containers = containers if containers is not None else {}
+        # When set, the PVN has degraded to VPN mode: every packet is
+        # redirected to this tunnel endpoint instead of the chain.
+        self.degraded_to = ""
 
     def _context(self, packet: Packet, now: float) -> ProcessingContext:
         return ProcessingContext(
@@ -107,13 +114,39 @@ class PvnDataPath:
             return sandbox.process(packet, context)
         return self.middleboxes[service].process(packet, context)
 
+    def _service_down(self, service: str) -> bool:
+        """A service is down when its container crashed (or stopped)
+        and has not been repaired yet; services without containers
+        (reused physical middleboxes) never crash this way."""
+        container = self.containers.get(service)
+        return container is not None and container.state in (
+            ContainerState.CRASHED, ContainerState.STOPPED,
+        )
+
     def process(self, packet: Packet, now: float) -> DataPathOutcome:
         """Run one packet through the full PVN pipeline."""
         self.packets_processed += 1
+        if self.degraded_to:
+            # Graceful degradation (§3.3 fallback): the chain is gone,
+            # traffic continues end-to-end through the VPN tunnel.
+            return DataPathOutcome(
+                action=ACTION_TUNNEL,
+                tunnel_endpoint=self.degraded_to,
+                verdict_reasons=("degraded:tunnel",),
+            )
         context = self._context(packet, now)
         delay = 0.0
         reasons: list[str] = []
 
+        if ("classifier" not in self.skip_services
+                and self._service_down("classifier")):
+            packet.mark_dropped(
+                f"classifier crashed (pvn {self.deployment_id})"
+            )
+            return DataPathOutcome(
+                action=ACTION_DROP,
+                verdict_reasons=("classifier:crashed",),
+            )
         if "classifier" not in self.skip_services:
             delay += self.container_spec.per_packet_delay
             self._run_service("classifier", packet, context)
@@ -124,6 +157,18 @@ class PvnDataPath:
         for service in pipeline:
             if service in self.skip_services:
                 continue
+            if self._service_down(service):
+                # A crashed middlebox is a service interruption, not a
+                # silent bypass: the packet is lost until the recovery
+                # layer repairs the chain or degrades to tunneling.
+                packet.mark_dropped(
+                    f"middlebox {service} crashed (pvn {self.deployment_id})"
+                )
+                return DataPathOutcome(
+                    action=ACTION_DROP, added_delay=delay,
+                    traffic_class=traffic_class,
+                    verdict_reasons=(*reasons, f"{service}:crashed"),
+                )
             delay += self.container_spec.per_packet_delay
             verdict = self._run_service(service, packet, context)
             reasons.append(f"{service}:{verdict.kind.value}")
@@ -167,6 +212,7 @@ class PvnDataPath:
 
 class DeploymentState(enum.Enum):
     ACTIVE = "active"
+    DEGRADED = "degraded"      # chain lost; traffic rides the VPN fallback
     TORN_DOWN = "torn_down"
 
 
@@ -186,10 +232,24 @@ class Deployment:
     ready_at: float
     attestation: Attestation | None
     state: DeploymentState = DeploymentState.ACTIVE
+    degraded_to: str = ""        # tunnel endpoint after degradation
+    repairs: int = 0             # successful repair operations
 
     @property
     def setup_latency(self) -> float:
         return self.ready_at - self.created_at
+
+    def crashed_services(self) -> tuple[str, ...]:
+        """Services whose container is currently crashed."""
+        return tuple(sorted(
+            service for service, container in self.containers.items()
+            if container.state is ContainerState.CRASHED
+        ))
+
+    @property
+    def healthy(self) -> bool:
+        return (self.state is DeploymentState.ACTIVE
+                and not self.crashed_services())
 
 
 class DeploymentManager:
@@ -331,6 +391,7 @@ class DeploymentManager:
             tracer=self.tracer,
             skip_services=skip_services,
             trusted_execution=trusted_execution,
+            containers=containers,
         )
 
         # 4. Owner-scoped flow rules steering the user into the chain.

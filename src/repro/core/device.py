@@ -27,14 +27,17 @@ from repro.core.discovery.negotiation import (
     STRATEGY_BEST_OF_ZONE,
     build_request,
     negotiate,
+    negotiate_with_retry,
 )
 from repro.core.discovery.protocol import DiscoveryClient
+from repro.core.discovery.retry import RetryPolicy
 from repro.core.pvnc.compiler import UserEnvironment, compile_pvnc
 from repro.core.pvnc.model import Pvnc
 from repro.core.provider import AccessProvider
 from repro.errors import AttestationError, NegotiationError
 from repro.netproto.dhcp import DhcpClient
 from repro.netsim.packet import Packet
+from repro.netsim.randomness import RandomStreams
 
 
 @dataclasses.dataclass
@@ -74,6 +77,8 @@ class Device:
         self.ledger = EvidenceLedger()
         self.reputation = ReputationSystem()
         self.connection: PvnConnection | None = None
+        # Per-device seeded jitter stream for retry backoff.
+        self._retry_rng = RandomStreams(0).spawn(f"device:{user}").get("retry")
 
     # -- attach -----------------------------------------------------------
 
@@ -92,20 +97,38 @@ class Device:
         providers: list[AccessProvider],
         pvnc: Pvnc,
         strategy: str = STRATEGY_BEST_OF_ZONE,
+        retry_policy: RetryPolicy | None = None,
     ) -> PvnConnection:
-        """Negotiate, deploy, verify, and refresh.  Raises on failure."""
+        """Negotiate, deploy, verify, and refresh.  Raises on failure.
+
+        With a ``retry_policy``, discovery floods that go unanswered
+        (provider crashed, DM eaten by the network) are retried with
+        capped exponential backoff instead of failing on first silence.
+        """
         if not providers:
             raise NegotiationError("no providers in range")
         now = providers[0].sim.now
         compiled = compile_pvnc(pvnc)
-        outcome = negotiate(
-            self.discovery,
-            [p.discovery for p in providers],
-            pvnc,
-            compiled.estimate,
-            now=now,
-            strategy=strategy,
-        )
+        if retry_policy is not None:
+            outcome = negotiate_with_retry(
+                self.discovery,
+                [p.discovery for p in providers],
+                pvnc,
+                compiled.estimate,
+                now=now,
+                policy=retry_policy,
+                rng=self._retry_rng,
+                strategy=strategy,
+            )
+        else:
+            outcome = negotiate(
+                self.discovery,
+                [p.discovery for p in providers],
+                pvnc,
+                compiled.estimate,
+                now=now,
+                strategy=strategy,
+            )
         if not outcome.accepted or outcome.offer is None or outcome.plan is None:
             raise NegotiationError(f"negotiation failed: {outcome.reason}")
 

@@ -20,9 +20,11 @@ from repro.core.discovery.negotiation import (
     build_request,
     negotiate,
     negotiate_over_time,
+    negotiate_with_retry,
     plan_acceptance,
 )
 from repro.core.discovery.pricing import DEFAULT_PRICES, PricingPolicy, surge
+from repro.core.discovery.retry import RetryPolicy, RetryTrace
 from repro.core.discovery.protocol import (
     DiscoveryClient,
     DiscoveryService,
@@ -42,6 +44,8 @@ __all__ = [
     "NegotiationOutcome",
     "Offer",
     "PricingPolicy",
+    "RetryPolicy",
+    "RetryTrace",
     "STANDARD_DOCKER",
     "STANDARD_OPENFLOW",
     "STRATEGY_ACCEPT_FIRST",
@@ -52,6 +56,7 @@ __all__ = [
     "check_ack",
     "negotiate",
     "negotiate_over_time",
+    "negotiate_with_retry",
     "plan_acceptance",
     "surge",
 ]

@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.core.discovery.messages import DeploymentRequest, DiscoveryMessage, Offer
 from repro.core.discovery.protocol import DiscoveryClient, DiscoveryService
+from repro.core.discovery.retry import RetryPolicy
 from repro.core.pvnc.model import Pvnc, ResourceEstimate
 from repro.errors import NegotiationError
 
@@ -51,6 +54,8 @@ class NegotiationOutcome:
     offers_considered: int = 0
     reason: str = ""
     accepted_at: float = 0.0      # simulation time of acceptance
+    attempts: int = 1             # discovery attempts (retries included)
+    waited: float = 0.0           # timeout + backoff seconds burned
 
 
 def plan_acceptance(offer: Offer, pvnc: Pvnc) -> AcceptancePlan | None:
@@ -127,7 +132,60 @@ def negotiate(
     if not offers:
         outcome.reason = "no provider answered the discovery message"
         return outcome
+    return _select_from_offers(client, providers, offers, pvnc, estimate,
+                               now, strategy, outcome)
 
+
+def negotiate_with_retry(
+    client: DiscoveryClient,
+    providers: list[DiscoveryService],
+    pvnc: Pvnc,
+    estimate: ResourceEstimate,
+    now: float,
+    policy: RetryPolicy,
+    rng: "np.random.Generator | None" = None,
+    strategy: str = STRATEGY_BEST_OF_ZONE,
+) -> NegotiationOutcome:
+    """:func:`negotiate`, but robust to an unresponsive zone.
+
+    Discovery floods are retried under ``policy`` (per-request timeout,
+    capped exponential backoff with seeded jitter, bounded attempt
+    budget); the outcome's ``attempts``/``waited`` report what the
+    retries cost.  A zone that never answers within the budget yields a
+    non-accepted outcome rather than an exception — the caller decides
+    whether to fall back to tunneling.
+    """
+    if strategy not in ALL_STRATEGIES:
+        raise NegotiationError(f"unknown strategy {strategy!r}")
+    offers, trace = client.flood_with_retry(
+        providers, pvnc, estimate, now, policy, rng
+    )
+    outcome = NegotiationOutcome(
+        accepted=False, rounds=trace.attempts,
+        offers_considered=len(offers),
+        attempts=trace.attempts, waited=trace.waited,
+    )
+    if not offers:
+        outcome.reason = (
+            f"discovery timed out: no offer after {trace.attempts} "
+            f"attempts ({trace.waited:.2f}s of timeouts and backoff)"
+        )
+        return outcome
+    return _select_from_offers(client, providers, offers, pvnc, estimate,
+                               now + trace.waited, strategy, outcome)
+
+
+def _select_from_offers(
+    client: DiscoveryClient,
+    providers: list[DiscoveryService],
+    offers: list[Offer],
+    pvnc: Pvnc,
+    estimate: ResourceEstimate,
+    now: float,
+    strategy: str,
+    outcome: NegotiationOutcome,
+) -> NegotiationOutcome:
+    """Offer selection shared by the plain and retrying negotiators."""
     if strategy == STRATEGY_FREE_ONLY:
         return _free_only(offers, pvnc, outcome)
     if strategy == STRATEGY_ACCEPT_FIRST:

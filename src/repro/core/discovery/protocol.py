@@ -23,7 +23,10 @@ from repro.core.discovery.messages import (
     STANDARD_DOCKER,
     STANDARD_OPENFLOW,
 )
+import numpy as np
+
 from repro.core.discovery.pricing import PricingPolicy
+from repro.core.discovery.retry import RetryPolicy, RetryTrace
 from repro.core.pvnc.model import Pvnc, ResourceEstimate
 from repro.errors import NegotiationError, ProtocolError
 
@@ -58,6 +61,9 @@ class DiscoveryService:
     offer_lifetime: float = 30.0
     dms_received: int = 0
     offers_made: int = 0
+    silent_until: float = 0.0     # fault injection: unresponsive until t
+    drop_next_dms: int = 0        # fault injection: network eats N DMs
+    dms_unanswered: int = 0
 
     def __post_init__(self) -> None:
         if not self.deployment_server:
@@ -68,10 +74,31 @@ class DiscoveryService:
     def supports_pvn(self) -> bool:
         return bool(self.supported_services)
 
+    def silence_for(self, duration: float, now: float) -> None:
+        """Make the provider unresponsive (requests time out) until
+        ``now + duration``; extends but never shortens a silence."""
+        self.silent_until = max(self.silent_until, now + duration)
+
+    def responsive(self, now: float) -> bool:
+        return now >= self.silent_until
+
     def handle_dm(self, dm: DiscoveryMessage, now: float) -> Offer | None:
         """Answer a discovery message, or None if PVNs are unsupported
-        or no standard is shared."""
+        or no standard is shared.
+
+        None is also what a *timeout* looks like to the device: an
+        unresponsive provider (``silent_until``) or a DM the network
+        dropped (``drop_next_dms``) simply never answers, and the
+        client's :class:`RetryPolicy` decides what happens next.
+        """
         self.dms_received += 1
+        if self.drop_next_dms > 0:
+            self.drop_next_dms -= 1
+            self.dms_unanswered += 1
+            return None
+        if not self.responsive(now):
+            self.dms_unanswered += 1
+            return None
         if not self.supports_pvn:
             return None
         shared = tuple(s for s in dm.standards if s in self.standards)
@@ -157,6 +184,37 @@ class DiscoveryClient:
             if offer is not None:
                 offers.append(offer)
         return offers
+
+    def flood_with_retry(
+        self,
+        services: list[DiscoveryService],
+        pvnc: Pvnc,
+        estimate: ResourceEstimate,
+        now: float,
+        policy: RetryPolicy,
+        rng: "np.random.Generator | None" = None,
+    ) -> tuple[list[Offer], RetryTrace]:
+        """Flood with per-request timeouts and capped backoff.
+
+        Each attempt floods the zone and waits ``policy.timeout`` for
+        answers; a silent zone costs the timeout plus the next backoff
+        delay, up to ``policy.max_attempts`` attempts total.  Returns
+        the first non-empty offer batch plus a :class:`RetryTrace`
+        whose ``waited`` is the virtual time burned — callers advance
+        their clock by it.
+        """
+        delays = policy.backoff_schedule(rng)
+        trace = RetryTrace(delays=tuple(delays))
+        for attempt in range(policy.max_attempts):
+            trace.attempts = attempt + 1
+            offers = self.flood(services, pvnc, estimate, now + trace.waited)
+            if offers:
+                trace.succeeded = True
+                return offers, trace
+            trace.waited += policy.timeout
+            if attempt < policy.max_attempts - 1:
+                trace.waited += delays[attempt]
+        return [], trace
 
 
 def check_ack(response: DeploymentAck | DeploymentNack) -> DeploymentAck:

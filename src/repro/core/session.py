@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.device import Device, PvnConnection
+from repro.core.discovery.retry import RetryPolicy
 from repro.core.provider import AccessProvider, DishonestyProfile, HONEST
 from repro.core.pvnc.compiler import UserEnvironment
 from repro.core.pvnc.dsl import parse_pvnc
@@ -80,6 +81,8 @@ class PvnSession:
         self.device = device
         self.sim = sim
         self.extra_providers: list[AccessProvider] = []
+        self.supervisor = None      # RobustnessSupervisor, via enable_robustness
+        self.injector = None        # FaultInjector, via inject_faults
 
     @classmethod
     def build(
@@ -128,8 +131,13 @@ class PvnSession:
     # -- lifecycle ---------------------------------------------------------
 
     def connect(self, pvnc: Pvnc,
-                strategy: str = "best_of_zone") -> SessionOutcome:
-        """Attach, discover, negotiate, deploy, verify."""
+                strategy: str = "best_of_zone",
+                retry_policy: RetryPolicy | None = None) -> SessionOutcome:
+        """Attach, discover, negotiate, deploy, verify.
+
+        Passing a ``retry_policy`` makes discovery retry unanswered
+        floods with capped exponential backoff before giving up.
+        """
         providers = [self.provider, *self.extra_providers]
         supported = self.device.attach(self.provider)
         if not supported and not self.extra_providers:
@@ -139,12 +147,42 @@ class PvnSession:
                        "use tunneling fallback (repro.core.tunneling)",
             )
         try:
-            connection = self.device.establish_pvn(providers, pvnc,
-                                                   strategy=strategy)
+            connection = self.device.establish_pvn(
+                providers, pvnc, strategy=strategy,
+                retry_policy=retry_policy,
+            )
         except NegotiationError as exc:
             return SessionOutcome(deployed=False, reason=str(exc))
         return SessionOutcome(deployed=True, connection=connection,
                               reason="deployed")
+
+    # -- robustness --------------------------------------------------------
+
+    def enable_robustness(self, policy=None):
+        """Start the detect->repair->degrade supervisor on this
+        session's simulator clock, wired to the device's evidence
+        ledger.  Idempotent; returns the supervisor."""
+        from repro.core.deployment.recovery import RobustnessSupervisor
+
+        if self.supervisor is None:
+            self.supervisor = RobustnessSupervisor(
+                self.provider.manager, self.sim, policy=policy,
+                ledger=self.device.ledger,
+            )
+        self.supervisor.start()
+        return self.supervisor
+
+    def inject_faults(self, plan):
+        """Schedule a :class:`~repro.faults.FaultPlan` (or DSL text)
+        against this session's provider; returns the injector."""
+        from repro.faults import FaultInjector
+
+        if self.injector is None:
+            self.injector = FaultInjector(
+                self.sim, self.provider, ledger=self.device.ledger,
+            )
+        self.injector.schedule_plan(plan)
+        return self.injector
 
     def send(self, packet: Packet):
         """Run one packet through the device's live PVN data path."""

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp11_harm,
     exp12_setup_time,
     exp13_mobility,
+    exp14_chaos,
     fig1a,
     fig1b,
     fig1c,
@@ -42,6 +43,7 @@ ALL_EXPERIMENTS = {
     "E11": exp11_harm.run,
     "E12": exp12_setup_time.run,
     "E13": exp13_mobility.run,
+    "E14": exp14_chaos.run,
     "ABL": ablations.run,
 }
 

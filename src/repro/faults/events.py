@@ -1,0 +1,131 @@
+"""Fault-event vocabulary.
+
+A :class:`FaultEvent` is one scheduled misbehaviour of the access
+network: a link going down or up, a burst of packet loss, a middlebox
+container crashing, an NFV host dying, a provider going silent on
+discovery, or discovery messages being swallowed by the network.
+Events are plain frozen dataclasses so fault plans compare, hash, and
+render deterministically — the chaos regression tests rely on
+``FaultEvent`` equality and on :func:`render_event` producing the same
+byte string for the same seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """What kind of misbehaviour an event injects."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    LINK_LOSS = "link_loss"              # burst loss; auto-restores
+    MIDDLEBOX_CRASH = "middlebox_crash"
+    HOST_DOWN = "host_down"
+    HOST_UP = "host_up"
+    PROVIDER_SILENCE = "provider_silence"
+    DM_DROP = "dm_drop"
+
+
+#: Kinds whose target names a link (two endpoint nodes).
+LINK_KINDS = frozenset(
+    {FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.LINK_LOSS}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time at which the fault fires.
+    kind:
+        The :class:`FaultKind`.
+    target:
+        Kind-dependent names: ``(a, b)`` link endpoints, a service
+        name (or ``"*"``) for crashes, a host name, or empty.
+    params:
+        Sorted ``(name, value)`` numeric parameters — ``duration`` for
+        loss bursts and silences, ``rate`` for loss bursts, ``count``
+        for DM drops.
+    """
+
+    time: float
+    kind: FaultKind
+    target: tuple[str, ...] = ()
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.time}")
+        if self.kind in LINK_KINDS and len(self.target) != 2:
+            raise ConfigurationError(
+                f"{self.kind.value} needs two link endpoints, got {self.target}"
+            )
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.time, self.kind.value, self.target, self.params)
+
+
+def make_event(
+    time: float, kind: FaultKind, *target: str, **params: float
+) -> FaultEvent:
+    """Convenience constructor with canonically sorted params."""
+    return FaultEvent(
+        time=float(time), kind=kind, target=tuple(target),
+        params=tuple(sorted((k, float(v)) for k, v in params.items())),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedFault:
+    """The injector's record of one fault it actually applied."""
+
+    time: float
+    kind: FaultKind
+    target: tuple[str, ...]
+    detail: str
+    deployment_ids: tuple[str, ...] = ()   # deployments the fault touched
+
+
+def render_event(event: FaultEvent | AppliedFault) -> str:
+    """A stable one-line rendering (used for trace digests)."""
+    if isinstance(event, AppliedFault):
+        return (f"{event.time:.6f} {event.kind.value} "
+                f"{'/'.join(event.target)} :: {event.detail}")
+    params = " ".join(f"{k}={v:g}" for k, v in event.params)
+    return (f"{event.time:.6f} {event.kind.value} "
+            f"{'/'.join(event.target)} {params}").rstrip()
+
+
+def normalise_ids(text: str) -> str:
+    """Alias deployment counters by first appearance.
+
+    Deployment ids embed a process-global counter (``alice/pvn7``), so
+    two executions inside one process name the same logical deployment
+    differently.  Rewriting each distinct ``pvn<N>`` to ``pvn#<k>`` in
+    first-seen order makes traces from separate runs byte-comparable.
+    """
+    mapping: dict[str, str] = {}
+
+    def repl(match: re.Match) -> str:
+        token = match.group(0)
+        if token not in mapping:
+            mapping[token] = f"pvn#{len(mapping) + 1}"
+        return mapping[token]
+
+    return re.sub(r"pvn\d+", repl, text)

@@ -15,7 +15,12 @@ from repro.netsim.link import Link, link_rtt
 from repro.netsim.node import Host, Node, RoutingNode
 from repro.netsim.packet import Packet
 from repro.netsim.queueing import DropTailQueue, RateMeter, TokenBucket
-from repro.netsim.randomness import RandomStreams, derive_seed
+from repro.netsim.randomness import (
+    RandomStreams,
+    default_streams,
+    derive_seed,
+    seed_default_streams,
+)
 from repro.netsim.simulator import Simulator
 from repro.netsim.tcp import (
     PathCharacteristics,
@@ -59,7 +64,9 @@ __all__ = [
     "build_access_network",
     "build_multihomed_access",
     "build_wide_area",
+    "default_streams",
     "derive_seed",
+    "seed_default_streams",
     "link_rtt",
     "mathis_throughput_bps",
     "simulate_split_transfer",

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.netsim.packet import Packet
 from repro.netsim.queueing import TokenBucket
+from repro.netsim.randomness import default_streams
 from repro.units import transmission_delay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -57,7 +58,10 @@ class Link:
     loss_rate:
         Independent per-packet loss probability (0 disables loss).
     rng:
-        Generator used for loss draws; required when ``loss_rate > 0``.
+        Generator used for loss draws.  When omitted, the link lazily
+        derives a stream named after itself from
+        :func:`repro.netsim.randomness.default_streams`, so loss draws
+        and fault injection share one seeded-RNG discipline.
     """
 
     def __init__(
@@ -77,8 +81,6 @@ class Link:
             raise ConfigurationError("bandwidth must be positive")
         if not 0.0 <= loss_rate < 1.0:
             raise ConfigurationError(f"loss_rate must be in [0,1), got {loss_rate}")
-        if loss_rate > 0 and rng is None:
-            raise ConfigurationError("loss_rate > 0 requires an rng")
         if max_queue_delay is not None and max_queue_delay < 0:
             raise ConfigurationError("max_queue_delay must be >= 0")
         self.a = a
@@ -89,6 +91,7 @@ class Link:
         self.rng = rng
         self.max_queue_delay = max_queue_delay
         self.name = name or f"{a.name}<->{b.name}"
+        self.up = True
         self._directions = {a.name: _Direction(), b.name: _Direction()}
         a.attach_link(self)
         b.attach_link(self)
@@ -111,6 +114,21 @@ class Link:
         """Delivery counters for the direction leaving ``node``."""
         return self._directions[node.name].stats
 
+    def take_down(self) -> None:
+        """Fail the link: every in-flight transmit attempt is lost."""
+        self.up = False
+
+    def bring_up(self) -> None:
+        self.up = True
+
+    @property
+    def _loss_rng(self) -> np.random.Generator:
+        """The loss-draw generator, derived lazily from the default
+        seeded streams when no rng was supplied at construction."""
+        if self.rng is None:
+            self.rng = default_streams().get(f"link-loss:{self.name}")
+        return self.rng
+
     # -- data plane --------------------------------------------------------
 
     def one_way_delay(self, size_bytes: int) -> float:
@@ -129,6 +147,11 @@ class Link:
         direction = self._directions[from_node.name]
         direction.stats.sent += 1
 
+        if not self.up:
+            direction.stats.lost += 1
+            packet.mark_dropped(f"link {self.name} is down")
+            return
+
         # Drop-tail on bounded buffers: a packet that would wait longer
         # than the buffer holds is dropped at enqueue time.
         if self.max_queue_delay is not None:
@@ -144,7 +167,7 @@ class Link:
         tx_done = start + transmission_delay(packet.size, self.bandwidth_bps)
         direction.busy_until = tx_done
 
-        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             direction.stats.lost += 1
             packet.mark_dropped(f"loss on {self.name}")
             return

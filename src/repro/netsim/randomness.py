@@ -43,3 +43,25 @@ class RandomStreams:
     def spawn(self, name: str) -> "RandomStreams":
         """Create a child factory with an independent seed namespace."""
         return RandomStreams(derive_seed(self.seed, f"spawn:{name}"))
+
+
+_default_streams = RandomStreams(seed=0)
+
+
+def default_streams() -> RandomStreams:
+    """The process-wide stream factory.
+
+    Components that are not handed an explicit generator (e.g. a
+    :class:`~repro.netsim.link.Link` with a loss rate but no ``rng``)
+    derive their stream from here, so every loss draw in the process
+    follows the same seeded-RNG discipline.
+    """
+    return _default_streams
+
+
+def seed_default_streams(seed: int) -> RandomStreams:
+    """Re-seed the process-wide factory (fresh streams, old ones kept
+    by whoever already grabbed them) and return it."""
+    global _default_streams
+    _default_streams = RandomStreams(seed)
+    return _default_streams

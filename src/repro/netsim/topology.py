@@ -79,8 +79,60 @@ class PhysicalTopology:
         )
 
     def shortest_path(self, src: str, dst: str) -> list[str]:
-        """Latency-weighted shortest path (node names, inclusive)."""
-        return nx.shortest_path(self.graph, src, dst, weight="latency")
+        """Latency-weighted shortest path (node names, inclusive).
+
+        Links taken down by fault injection (:meth:`set_link_down`) are
+        invisible to routing; a partition raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        def usable_latency(a: str, b: str, data: dict) -> float | None:
+            return None if data.get("down") else data["latency"]
+
+        try:
+            return nx.shortest_path(self.graph, src, dst,
+                                    weight=usable_latency)
+        except nx.NetworkXNoPath:
+            raise ConfigurationError(
+                f"no usable path {src!r} -> {dst!r} "
+                "(network partitioned by down links)"
+            ) from None
+
+    # -- fault state -------------------------------------------------------
+
+    def _edge(self, a: str, b: str) -> dict:
+        try:
+            return self.graph.edges[a, b]
+        except KeyError:
+            raise ConfigurationError(f"no link {a!r} <-> {b!r}") from None
+
+    def set_link_down(self, a: str, b: str) -> None:
+        """Mark a link failed: routing and embedding avoid it."""
+        self._edge(a, b)["down"] = True
+
+    def set_link_up(self, a: str, b: str) -> None:
+        self._edge(a, b)["down"] = False
+
+    def link_is_down(self, a: str, b: str) -> bool:
+        return bool(self._edge(a, b).get("down", False))
+
+    def down_links(self) -> list[tuple[str, str]]:
+        return sorted(
+            (min(a, b), max(a, b))
+            for a, b, data in self.graph.edges(data=True)
+            if data.get("down")
+        )
+
+    def set_link_loss(self, a: str, b: str, loss_rate: float) -> float:
+        """Override a link's loss rate; returns the previous rate so
+        burst injections can restore it."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0,1), got {loss_rate}"
+            )
+        edge = self._edge(a, b)
+        previous = float(edge.get("loss_rate", 0.0))
+        edge["loss_rate"] = float(loss_rate)
+        return previous
 
     def path_latency(self, path: list[str], size_bytes: int = 40) -> float:
         """One-way delay along ``path`` for a packet of ``size_bytes``."""

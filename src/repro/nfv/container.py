@@ -46,6 +46,7 @@ class ContainerState(enum.Enum):
     INSTANTIATING = "instantiating"
     RUNNING = "running"
     STOPPED = "stopped"
+    CRASHED = "crashed"
 
 
 class Container:
@@ -66,21 +67,35 @@ class Container:
         self.running_at: float | None = None
         self.packets_processed = 0
         self.busy_seconds = 0.0
+        self.crashes = 0
+        self.crashed_at: float | None = None
+        self._start_epoch = 0     # invalidates stale instantiation events
 
     @property
     def name(self) -> str:
         return f"{self.middlebox.name}#{self.container_id}"
 
     def start(self, sim: Simulator) -> None:
-        """Begin instantiation; RUNNING after ``instantiation_time``."""
-        if self.state not in (ContainerState.CREATED, ContainerState.STOPPED):
+        """Begin instantiation; RUNNING after ``instantiation_time``.
+
+        Restart after a crash is the same operation: a fresh boot at
+        full instantiation cost.  A crash *during* instantiation
+        invalidates the pending boot (epoch check), so the stale event
+        cannot resurrect a crashed container.
+        """
+        if self.state not in (ContainerState.CREATED, ContainerState.STOPPED,
+                              ContainerState.CRASHED):
             raise SimulationError(f"cannot start container in {self.state}")
         self.state = ContainerState.INSTANTIATING
         self.started_at = sim.now
+        self._start_epoch += 1
+        epoch = self._start_epoch
 
         def _running() -> None:
-            self.state = ContainerState.RUNNING
-            self.running_at = sim.now
+            if (self._start_epoch == epoch
+                    and self.state is ContainerState.INSTANTIATING):
+                self.state = ContainerState.RUNNING
+                self.running_at = sim.now
 
         sim.schedule(self.spec.instantiation_time, _running)
 
@@ -89,9 +104,20 @@ class Container:
         self.state = ContainerState.RUNNING
         self.started_at = now
         self.running_at = now + self.spec.instantiation_time
+        self._start_epoch += 1
 
     def stop(self) -> None:
         self.state = ContainerState.STOPPED
+        self._start_epoch += 1
+
+    def crash(self, now: float) -> None:
+        """Fault injection: the instance dies until restarted."""
+        if self.state is ContainerState.STOPPED:
+            return
+        self.state = ContainerState.CRASHED
+        self.crashes += 1
+        self.crashed_at = now
+        self._start_epoch += 1
 
     def process(self, packet: Packet, context: ProcessingContext) -> Verdict:
         """Run the packet through the middlebox, charging per-packet delay."""

@@ -53,6 +53,8 @@ class NfvHost:
         self._containers: dict[int, Container] = {}
         self.launches = 0
         self.rejections = 0
+        self.alive = True
+        self.failures = 0
 
     # -- accounting ----------------------------------------------------------
 
@@ -84,6 +86,8 @@ class NfvHost:
         )
 
     def can_admit(self, container: Container) -> bool:
+        if not self.alive:
+            return False
         fits = (
             self.memory_in_use + container.spec.memory_bytes
             <= self.capacity.memory_bytes
@@ -137,3 +141,30 @@ class NfvHost:
 
     def containers(self) -> list[Container]:
         return list(self._containers.values())
+
+    # -- fault injection -------------------------------------------------------
+
+    def crash_container(self, container_id: int, now: float = 0.0) -> bool:
+        """Crash one container in place (it stays admitted for repair)."""
+        container = self._containers.get(container_id)
+        if container is None or container.state is ContainerState.STOPPED:
+            return False
+        container.crash(now)
+        return True
+
+    def fail(self, now: float = 0.0) -> int:
+        """The whole host dies: every live container crashes, and
+        admission refuses new work until :meth:`recover`."""
+        self.alive = False
+        self.failures += 1
+        crashed = 0
+        for container in self._containers.values():
+            if container.state is not ContainerState.STOPPED:
+                container.crash(now)
+                crashed += 1
+        return crashed
+
+    def recover(self) -> None:
+        """The host comes back; crashed containers stay crashed until
+        the deployment layer restarts them."""
+        self.alive = True

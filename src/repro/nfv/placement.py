@@ -70,7 +70,7 @@ def _host_capacity_ok(
     hosts: dict[str, NfvHost], node: str, request: PlacementRequest
 ) -> bool:
     host = hosts.get(node)
-    if host is None:
+    if host is None or not host.alive:
         return False
     return (
         host.memory_in_use + request.memory_bytes

@@ -18,10 +18,14 @@ from repro.sdn.match import Match
 
 
 def shortest_path(topo: PhysicalTopology, src: str, dst: str) -> list[str]:
-    """Latency-weighted shortest path, raising on disconnection."""
+    """Latency-weighted shortest path, raising on disconnection.
+
+    Delegates to :meth:`PhysicalTopology.shortest_path` so links taken
+    down by fault injection are avoided by routing and placement alike.
+    """
     try:
-        return nx.shortest_path(topo.graph, src, dst, weight="latency")
-    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        return topo.shortest_path(src, dst)
+    except nx.NodeNotFound as exc:
         raise ConfigurationError(f"no path {src} -> {dst}: {exc}") from exc
 
 

@@ -71,6 +71,17 @@ class TestPvncProperties:
 
     @settings(max_examples=40, deadline=None)
     @given(pvncs())
+    def test_dsl_roundtrip_reaches_fixed_point(self, pvnc):
+        # DSL -> PVNC -> DSL is a fixed point after one round: the
+        # rendered text re-parses to an equal object and re-renders to
+        # the same bytes.
+        text = render_pvnc(pvnc)
+        reparsed = parse_pvnc(text)
+        assert reparsed == parse_pvnc(render_pvnc(reparsed))
+        assert render_pvnc(reparsed) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(pvncs())
     def test_compile_covers_used_services(self, pvnc):
         compiled = compile_pvnc(pvnc)
         deployed = set(compiled.deployment_services)

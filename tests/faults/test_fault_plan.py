@@ -1,0 +1,128 @@
+"""Fault plans: DSL parsing, ordering, and seeded determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    make_event,
+    normalise_ids,
+    parse_fault_plan,
+)
+
+SCRIPT = """
+# comments and blank lines are ignored
+
+at 0.5 link-down ap0 agg
+at 0.8 loss-burst agg core rate=0.4 duration=1.0
+at 1.0 crash tls_validator
+at 1.2 crash *          # every live middlebox
+at 1.5 host-down nfv0
+at 2.0 silence duration=1.5
+at 2.2 drop-dm count=3
+at 3.0 host-up nfv0
+at 3.5 link-up ap0 agg
+"""
+
+
+class TestDsl:
+    def test_parses_every_verb(self):
+        plan = parse_fault_plan(SCRIPT)
+        assert len(plan) == 9
+        kinds = [e.kind for e in plan]
+        assert set(kinds) == set(FaultKind)
+
+    def test_events_come_out_time_ordered(self):
+        plan = parse_fault_plan(SCRIPT)
+        times = [e.time for e in plan]
+        assert times == sorted(times)
+
+    def test_targets_and_params_land(self):
+        plan = parse_fault_plan(SCRIPT)
+        burst = plan.of_kind(FaultKind.LINK_LOSS)[0]
+        assert burst.target == ("agg", "core")
+        assert burst.param("rate") == pytest.approx(0.4)
+        assert burst.param("duration") == pytest.approx(1.0)
+        crash = plan.of_kind(FaultKind.MIDDLEBOX_CRASH)[0]
+        assert crash.target == ("tls_validator",)
+
+    @pytest.mark.parametrize("line", [
+        "link-down ap0 agg",          # missing 'at <time>'
+        "at soon crash *",            # non-numeric time
+        "at 1.0 meteor-strike ap0",   # unknown verb
+        "at 1.0 silence duration=long",  # non-numeric param
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(line)
+
+    def test_roundtrip_render_parse(self):
+        plan = parse_fault_plan(SCRIPT)
+        # render() lines are themselves stable event descriptions.
+        assert plan.render() == FaultPlan(plan.events).render()
+
+
+class TestEvents:
+    def test_link_kinds_need_two_endpoints(self):
+        with pytest.raises(ConfigurationError):
+            make_event(1.0, FaultKind.LINK_DOWN, "ap0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_event(-1.0, FaultKind.MIDDLEBOX_CRASH, "*")
+
+    def test_events_are_hashable_and_comparable(self):
+        a = make_event(1.0, FaultKind.HOST_DOWN, "nfv0")
+        b = make_event(1.0, FaultKind.HOST_DOWN, "nfv0")
+        assert a == b and hash(a) == hash(b)
+        assert isinstance(a, FaultEvent)
+
+
+class TestSeededPlans:
+    ARGS = dict(
+        duration=10.0,
+        services=("tls_validator", "pii_detector"),
+        links=(("ap0", "agg"), ("agg", "core")),
+        hosts=("nfv0", "nfv1"),
+        silence_rate=0.1,
+    )
+
+    def test_same_seed_same_plan(self):
+        assert (FaultPlan.random(seed=42, **self.ARGS)
+                == FaultPlan.random(seed=42, **self.ARGS))
+        assert (FaultPlan.random(seed=42, **self.ARGS).render()
+                == FaultPlan.random(seed=42, **self.ARGS).render())
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(seed=s, **self.ARGS).render()
+                 for s in range(5)}
+        assert len(plans) > 1
+
+    def test_horizon_covers_trailing_durations(self):
+        plan = FaultPlan.random(seed=3, **self.ARGS)
+        assert plan.horizon >= max((e.time for e in plan), default=0.0)
+
+    def test_merged_plans_stay_ordered(self):
+        early = parse_fault_plan("at 0.1 crash *")
+        late = parse_fault_plan("at 9.0 host-down nfv0")
+        merged = late.merged(early)
+        assert [e.time for e in merged] == [0.1, 9.0]
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(seed=0, duration=0.0)
+
+
+class TestNormaliseIds:
+    def test_first_seen_aliasing(self):
+        text = "alice/pvn7 ok then alice/pvn9 then alice/pvn7 again"
+        assert normalise_ids(text) == (
+            "alice/pvn#1 ok then alice/pvn#2 then alice/pvn#1 again"
+        )
+
+    def test_two_runs_compare_equal_after_normalising(self):
+        run_a = "crashed alice/pvn3:tls\nrepaired alice/pvn3"
+        run_b = "crashed alice/pvn8:tls\nrepaired alice/pvn8"
+        assert normalise_ids(run_a) == normalise_ids(run_b)

@@ -1,0 +1,90 @@
+"""Property-based invariants of the retry/backoff layer.
+
+Pinned down here (see ``repro.core.discovery.retry``):
+
+* the backoff schedule is monotone non-decreasing,
+* no delay ever exceeds ``max_delay * (1 + jitter)``,
+* a retried flood never burns more than ``max_attempts`` attempts,
+* the flood's virtual waiting time is bounded by ``worst_case_wait``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PvnSession, default_pvnc
+from repro.core.discovery.retry import RetryPolicy
+from repro.errors import ConfigurationError
+
+policies = st.builds(
+    RetryPolicy,
+    timeout=st.floats(min_value=0.01, max_value=2.0),
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=0.0, max_value=1.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=1.0, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestBackoffSchedule:
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    def test_monotone_nondecreasing_and_capped(self, policy, seed):
+        rng = np.random.default_rng(seed)
+        schedule = policy.backoff_schedule(rng)
+        assert len(schedule) == policy.max_attempts - 1
+        ceiling = policy.max_delay * (1.0 + policy.jitter)
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert later >= earlier
+        for delay in schedule:
+            assert 0.0 <= delay <= ceiling + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=policies)
+    def test_unjittered_schedule_is_deterministic(self, policy):
+        assert policy.backoff_schedule(None) == policy.backoff_schedule(None)
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    def test_worst_case_wait_bounds_timeouts_plus_backoff(self, policy, seed):
+        rng = np.random.default_rng(seed)
+        total = (policy.max_attempts * policy.timeout
+                 + sum(policy.backoff_schedule(rng)))
+        assert total <= policy.worst_case_wait() + 1e-9
+
+    def test_invalid_policies_rejected(self):
+        for kwargs in (
+            dict(timeout=0.0),
+            dict(max_attempts=0),
+            dict(base_delay=-0.1),
+            dict(multiplier=0.5),
+            dict(max_delay=0.1, base_delay=0.2),
+            dict(jitter=1.5),
+        ):
+            with pytest.raises(ConfigurationError):
+                RetryPolicy(**kwargs)
+
+
+class TestRetriedFlood:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        drops=st.integers(min_value=0, max_value=6),
+        max_attempts=st.integers(min_value=1, max_value=5),
+    )
+    def test_attempts_bounded_by_budget(self, drops, max_attempts):
+        session = PvnSession.build(seed=1)
+        session.provider.discovery.drop_next_dms = drops
+        policy = RetryPolicy(max_attempts=max_attempts, timeout=0.1,
+                             base_delay=0.05)
+        outcome = session.connect(default_pvnc(), retry_policy=policy)
+        if outcome.deployed:
+            trace = outcome.connection.negotiation
+            assert 1 <= trace.attempts <= max_attempts
+            assert trace.attempts == drops + 1
+            assert trace.waited <= policy.worst_case_wait() + 1e-9
+        else:
+            # Every attempt was eaten: only possible when the budget is
+            # smaller than the number of dropped DMs.
+            assert drops >= max_attempts
+            assert "timed out" in outcome.reason

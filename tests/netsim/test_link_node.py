@@ -63,12 +63,25 @@ class TestLinkDelivery:
         assert stats.delivered == delivered
         assert stats.lost == 200 - delivered
 
-    def test_loss_requires_rng(self):
-        sim = Simulator()
-        a = Host(sim, "a", "10.0.0.1")
-        b = Host(sim, "b", "10.0.0.2")
-        with pytest.raises(ConfigurationError):
-            Link(a, b, loss_rate=0.1)
+    def test_loss_without_rng_uses_default_stream(self):
+        # A lossy link no longer demands a caller-supplied rng: draws
+        # come from the seeded per-link stream in netsim.randomness.
+        from repro.netsim.randomness import seed_default_streams
+
+        def deliveries(seed):
+            seed_default_streams(seed)
+            sim = Simulator()
+            a, b, _ = make_pair(
+                sim, latency=0.001, bandwidth_bps=1e9, loss_rate=0.5
+            )
+            for _ in range(100):
+                a.originate(Packet(src=a.ip, dst=b.ip, size=100), via="b")
+            sim.run()
+            return len(b.delivered)
+
+        first = deliveries(seed=7)
+        assert 20 < first < 80          # loss actually applies
+        assert first == deliveries(seed=7)   # and reproducibly so
 
     def test_invalid_parameters_rejected(self):
         sim = Simulator()
