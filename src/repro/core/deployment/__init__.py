@@ -23,6 +23,14 @@ from repro.core.deployment.lifecycle import (
     repair_deployment,
     sweep_expired,
 )
+from repro.core.deployment.migration import (
+    EpochRegistry,
+    MigrationCoordinator,
+    MigrationJournal,
+    MigrationSpec,
+    MigrationTransaction,
+    ensure_coordinator,
+)
 from repro.core.deployment.manager import (
     ACTION_DROP,
     ACTION_FORWARD,
@@ -48,10 +56,15 @@ __all__ = [
     "DeploymentManager",
     "DeploymentState",
     "EmbeddingResult",
+    "EpochRegistry",
     "HealthReport",
     "IsolationReport",
     "LeaseTable",
+    "MigrationCoordinator",
+    "MigrationJournal",
     "MigrationResult",
+    "MigrationSpec",
+    "MigrationTransaction",
     "PvnDataPath",
     "RecoveryEvent",
     "RecoveryPolicy",
@@ -60,6 +73,7 @@ __all__ = [
     "admission_headroom",
     "degrade_to_tunnel",
     "embed_pvn",
+    "ensure_coordinator",
     "estimate_max_subscribers",
     "health_check",
     "migrate_device",

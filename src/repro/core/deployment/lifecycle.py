@@ -3,8 +3,10 @@
 * **DHCP refresh** — the §3.1 post-ACK address move into the PVN's
   block.
 * **Migration** — when a device roams to another AP inside the same
-  provider, re-embed the chain and move state without a full
-  renegotiation.
+  provider, run a stateful make-before-break handoff
+  (:mod:`repro.core.deployment.migration`): instantiate the chain at
+  the new attachment point, checkpoint and ship middlebox state,
+  atomically cut over — or roll back completely.
 * **Expiry sweeps** — deployments are leased; unfunded leases are torn
   down, freeing NFV capacity.
 * **Health & repair** — crashed middlebox containers are restarted in
@@ -24,6 +26,11 @@ from repro.core.deployment.manager import (
     Deployment,
     DeploymentManager,
     DeploymentState,
+)
+from repro.core.deployment.migration import (
+    MigrationResult,
+    MigrationSpec,
+    ensure_coordinator,
 )
 from repro.core.tunneling.vpn import FullTunnel
 from repro.errors import DeploymentError, ReproError
@@ -47,42 +54,29 @@ def refresh_address(
     return dhcp.refresh_into_pvn(client_mac, deployment_id, now)
 
 
-@dataclasses.dataclass(frozen=True)
-class MigrationResult:
-    """Outcome of an intra-provider AP migration."""
-
-    deployment_id: str
-    old_stretch: float
-    new_stretch: float
-    moved_services: tuple[str, ...]
-
-
 def migrate_device(
     manager: DeploymentManager,
     deployment_id: str,
     new_device_node: str,
+    now: float = 0.0,
+    leases: "LeaseTable | None" = None,
+    ledger=None,
+    spec: MigrationSpec | None = None,
 ) -> MigrationResult:
-    """Re-embed an active deployment after the device moved APs."""
-    deployment = manager.deployment(deployment_id)
-    if deployment.state is not DeploymentState.ACTIVE:
-        raise DeploymentError(f"deployment {deployment_id} is not active")
-    old = deployment.embedding
-    new_embedding = embed_pvn(
-        deployment.compiled, manager.topo, manager.hosts,
-        device_node=new_device_node, gateway_node=manager.gateway_node,
-    )
-    old_nodes = {d.service: d.node for d in old.plan.decisions}
-    moved = tuple(
-        d.service for d in new_embedding.plan.decisions
-        if old_nodes.get(d.service) != d.node
-    )
-    deployment.embedding = new_embedding
-    return MigrationResult(
-        deployment_id=deployment_id,
-        old_stretch=old.stretch,
-        new_stretch=new_embedding.stretch,
-        moved_services=moved,
-    )
+    """Stateful make-before-break migration after the device moved APs.
+
+    Runs a full two-phase transaction through the manager's
+    :class:`~repro.core.deployment.migration.MigrationCoordinator`:
+    target containers are instantiated at the new attachment point
+    (charging full instantiation latency for every moved middlebox),
+    middlebox state is checkpointed and shipped, and the cutover
+    commits atomically — SDN rules, the DHCP subnet binding, and the
+    funding lease all follow the surviving deployment id.  Any failure
+    rolls back to the untouched source deployment.
+    """
+    coordinator = ensure_coordinator(manager, spec=spec, ledger=ledger,
+                                     leases=leases)
+    return coordinator.migrate(deployment_id, new_device_node, now)
 
 
 @dataclasses.dataclass
@@ -95,6 +89,18 @@ class LeaseTable:
         self.leases[deployment_id] = max(
             self.leases.get(deployment_id, 0.0), until
         )
+
+    def transfer(self, old_id: str, new_id: str) -> None:
+        """Move a funding entry to the deployment that superseded it.
+
+        Migration commits call this so the paid-until time follows the
+        surviving deployment instead of stranding on the fenced source
+        (which the next expiry sweep would otherwise tear down while
+        the live target ran unfunded).
+        """
+        if old_id in self.leases:
+            until = self.leases.pop(old_id)
+            self.leases[new_id] = max(self.leases.get(new_id, 0.0), until)
 
     def expired(self, now: float) -> list[str]:
         return sorted(

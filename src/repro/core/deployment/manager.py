@@ -98,6 +98,19 @@ class PvnDataPath:
         # When set, the PVN has degraded to VPN mode: every packet is
         # redirected to this tunnel endpoint instead of the chain.
         self.degraded_to = ""
+        # When set, a live migration is in its TRANSFER window and
+        # traffic bridges through this tunnel endpoint (make-before-
+        # break: time-to-protection never drops to zero).
+        self.bridging_to = ""
+        # Epoch fencing (split-brain protection).  The migration
+        # coordinator adopts a datapath by setting these three; a
+        # datapath whose epoch falls behind the registry's current
+        # epoch for its lineage rejects packets instead of
+        # double-processing them after a cutover it missed.
+        self.fencing = None        # EpochRegistry | None
+        self.lineage = ""
+        self.epoch = 0
+        self.stale_rejections = 0
 
     def _context(self, packet: Packet, now: float) -> ProcessingContext:
         return ProcessingContext(
@@ -125,7 +138,33 @@ class PvnDataPath:
 
     def process(self, packet: Packet, now: float) -> DataPathOutcome:
         """Run one packet through the full PVN pipeline."""
+        if (self.fencing is not None
+                and not self.fencing.is_current(self.lineage, self.epoch)):
+            # A stale-epoch deployment missed a migration cutover; it
+            # must reject traffic, not double-process it.  The packet
+            # never reaches a middlebox and is not counted as
+            # processed — the fence records the violation as evidence.
+            self.stale_rejections += 1
+            self.fencing.reject(self.deployment_id, self.lineage,
+                                self.epoch, now)
+            packet.mark_dropped(
+                f"stale epoch {self.epoch} at pvn {self.deployment_id} "
+                f"(current {self.fencing.current(self.lineage)})"
+            )
+            return DataPathOutcome(
+                action=ACTION_DROP,
+                verdict_reasons=("fencing:stale_epoch",),
+            )
         self.packets_processed += 1
+        if self.bridging_to:
+            # Mid-migration TRANSFER window: the source chain is
+            # frozen for checkpointing, traffic rides the tunnel
+            # fallback until COMMIT or ABORT.
+            return DataPathOutcome(
+                action=ACTION_TUNNEL,
+                tunnel_endpoint=self.bridging_to,
+                verdict_reasons=("migrating:bridge",),
+            )
         if self.degraded_to:
             # Graceful degradation (§3.3 fallback): the chain is gone,
             # traffic continues end-to-end through the VPN tunnel.
@@ -213,6 +252,7 @@ class PvnDataPath:
 class DeploymentState(enum.Enum):
     ACTIVE = "active"
     DEGRADED = "degraded"      # chain lost; traffic rides the VPN fallback
+    SUPERSEDED = "superseded"  # migrated away; fenced against stale traffic
     TORN_DOWN = "torn_down"
 
 
@@ -234,6 +274,13 @@ class Deployment:
     state: DeploymentState = DeploymentState.ACTIVE
     degraded_to: str = ""        # tunnel endpoint after degradation
     repairs: int = 0             # successful repair operations
+    env: UserEnvironment | None = None   # for rebuilding middleboxes
+    epoch: int = 0               # fencing token; bumped at migration commit
+    lineage: str = ""            # stable id across migrations ("" = own id)
+
+    @property
+    def lineage_id(self) -> str:
+        return self.lineage or self.deployment_id
 
     @property
     def setup_latency(self) -> float:
@@ -288,6 +335,12 @@ class DeploymentManager:
         self.store_capabilities = store_capabilities or {}
         self.deployments: dict[str, Deployment] = {}
         self._subnet_counter = itertools.count(1)
+        # Lazily created by repro.core.deployment.migration.
+        self.migration_coordinator = None
+
+    def allocate_deployment_id(self, user: str) -> str:
+        """Mint a fresh deployment id (installs and migration targets)."""
+        return f"{user}/pvn{next(_deployment_numbers)}"
 
     # -- deployment ---------------------------------------------------------
 
@@ -339,7 +392,7 @@ class DeploymentManager:
         trusted_execution: bool,
     ) -> Deployment:
         user = request.pvnc.user
-        deployment_id = f"{user}/pvn{next(_deployment_numbers)}"
+        deployment_id = self.allocate_deployment_id(user)
 
         # 1. Launch a container per non-reused chain element; they start
         #    in parallel, so readiness is one instantiation time away.
@@ -441,6 +494,7 @@ class DeploymentManager:
             created_at=now,
             ready_at=ready_at,
             attestation=attestation,
+            env=env,
         )
 
     def _chain_executor(self, datapath: PvnDataPath, packet: Packet,

@@ -92,6 +92,7 @@ class RobustnessSupervisor:
     def _tick(self) -> None:
         if not self._running:
             return
+        self._replay_migrations()
         for deployment_id in sorted(self.manager.deployments):
             deployment = self.manager.deployments[deployment_id]
             if deployment.state is not DeploymentState.ACTIVE:
@@ -102,6 +103,27 @@ class RobustnessSupervisor:
                 continue
             self._handle_outage(deployment_id, report)
         self.sim.schedule(self.policy.check_interval, self._tick)
+
+    def _replay_migrations(self) -> None:
+        """Resolve migrations stranded mid-transaction.
+
+        The migration coordinator's WAL journal makes the outcome
+        deterministic: a transaction whose COMMIT intent was journaled
+        before the crash rolls *forward* to the target deployment; any
+        other open transaction rolls *back* to the intact source.  Each
+        resolution is emitted (and ledgered) like any other recovery
+        action.
+        """
+        coordinator = self.manager.migration_coordinator
+        if coordinator is None:
+            return
+        for txn_id, action, detail in coordinator.recover(self.sim.now):
+            txn = coordinator.transactions.get(txn_id)
+            deployment_id = (
+                txn.source.deployment_id if txn is not None else txn_id
+            )
+            self._emit(deployment_id, f"migration_{action}",
+                       f"{txn_id}: {detail}")
 
     def _handle_outage(self, deployment_id: str, report) -> None:
         now = self.sim.now

@@ -184,6 +184,38 @@ class PvnSession:
         self.injector.schedule_plan(plan)
         return self.injector
 
+    def migrate(self, new_device_node: str, ap: str = "ap1",
+                leases=None, **wireless):
+        """Roam the device to another AP with a stateful handoff.
+
+        Wires the new attachment point into the topology, then runs a
+        full make-before-break migration transaction
+        (:mod:`repro.core.deployment.migration`): target containers
+        instantiated at the new AP, middlebox state checkpointed and
+        restored, epoch-fenced atomic cutover.  On commit the device's
+        connection follows the surviving deployment id; on rollback it
+        keeps the intact source.  Returns the
+        :class:`~repro.core.deployment.migration.MigrationResult`.
+        """
+        from repro.core.deployment.lifecycle import migrate_device
+
+        if self.device.connection is None:
+            raise NegotiationError("connect() first")
+        if new_device_node not in self.provider.topo.graph:
+            self.provider.attach_device(new_device_node, ap=ap, **wireless)
+        result = migrate_device(
+            self.provider.manager,
+            self.device.connection.deployment_id,
+            new_device_node,
+            now=self.sim.now,
+            leases=leases,
+            ledger=self.device.ledger,
+        )
+        if result.committed:
+            self.device.connection.deployment_id = result.deployment_id
+            self.device.node_name = new_device_node
+        return result
+
     def send(self, packet: Packet):
         """Run one packet through the device's live PVN data path."""
         if self.device.connection is None:

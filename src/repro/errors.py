@@ -59,6 +59,10 @@ class IsolationError(DeploymentError):
     """A deployment would (or did) violate per-user isolation."""
 
 
+class MigrationError(DeploymentError):
+    """A stateful migration transaction was misused or interrupted."""
+
+
 class AttestationError(ReproError):
     """An attestation was missing, malformed, or failed verification."""
 

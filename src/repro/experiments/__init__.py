@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp12_setup_time,
     exp13_mobility,
     exp14_chaos,
+    exp15_migration,
     fig1a,
     fig1b,
     fig1c,
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "E12": exp12_setup_time.run,
     "E13": exp13_mobility.run,
     "E14": exp14_chaos.run,
+    "E15": exp15_migration.run,
     "ABL": ablations.run,
 }
 

@@ -5,8 +5,11 @@ Three mobility events, costed in time-to-protection (how long until
 the user's policies are enforced again) and configuration fidelity
 (which of the user's services survive):
 
-* **intra-provider AP handoff** — the deployment migrates (re-embed,
-  no renegotiation, containers keep running);
+* **intra-provider AP handoff** — a stateful make-before-break
+  migration (:mod:`repro.core.deployment.migration`): fresh containers
+  are instantiated at the new AP, middlebox state is checkpointed and
+  shipped, and the cutover commits atomically behind an epoch fence —
+  no renegotiation, and the chain's accumulated state survives;
 * **inter-provider roam, full support** — fresh discovery +
   negotiation + deployment on the new network (the E12 join cost);
 * **inter-provider roam, partial support** — same, but the new
@@ -18,7 +21,7 @@ the user's policies are enforced again) and configuration fidelity
 from __future__ import annotations
 
 from repro.core import AccessProvider, PvnSession, default_pvnc
-from repro.core.deployment.lifecycle import migrate_device
+from repro.core.deployment.lifecycle import LeaseTable, migrate_device
 from repro.experiments.harness import ExperimentResult, main
 from repro.netsim.topology import attach_device
 from repro.nfv.container import ContainerSpec
@@ -38,23 +41,38 @@ def run(seed: int = 0) -> ExperimentResult:
     rtt = session.provider.topo.rtt(session.device.node_name, "gw")
 
     # -- event 1: intra-provider AP handoff --------------------------------
+    # A stateful two-phase migration: the handoff pays container
+    # instantiation at the new AP plus checkpoint transfer plus one
+    # control-plane RTT for the commit — but the source chain serves
+    # (then bridges) throughout, so time-to-protection never hits zero.
+    home_deployment_id = session.device.connection.deployment_id
+    leases = LeaseTable()
+    leases.fund(home_deployment_id, until=3600.0)
     attach_device(session.provider.topo, "dev_alice_ap1", ap="ap1")
     migration = migrate_device(
         session.provider.manager,
-        session.device.connection.deployment_id,
+        home_deployment_id,
         "dev_alice_ap1",
+        now=session.sim.now,
+        leases=leases,
+        ledger=session.device.ledger,
     )
-    # Migration is control-plane only: re-embed + rule moves, one RTT.
-    handoff_cost = rtt
+    assert migration.committed, migration.reason
+    assert home_deployment_id not in leases.leases  # funding followed
+    session.device.connection.deployment_id = migration.deployment_id
+    handoff_cost = migration.handoff_time + rtt
     rows.append((
         "AP handoff (same provider)",
         handoff_cost * 1e3,
         f"{len(home_services)}/{len(home_services)}",
-        f"moved {len(migration.moved_services)} middleboxes, "
-        f"stretch x{migration.new_stretch:.2f}",
+        f"restored {len(migration.restored_services)} middleboxes "
+        f"({migration.state_bytes} B state), "
+        f"stretch x{migration.new_stretch:.2f}, "
+        f"epoch {migration.epoch}",
     ))
     metrics["handoff_ms"] = handoff_cost * 1e3
     metrics["handoff_keeps_all_services"] = 1.0
+    metrics["handoff_state_bytes"] = float(migration.state_bytes)
 
     # -- event 2: roam to a full-support provider ---------------------------
     roam_full = AccessProvider("isp-roam-full", sim=session.sim,
@@ -105,8 +123,10 @@ def run(seed: int = 0) -> ExperimentResult:
         rows=rows,
         metrics=metrics,
         notes=[
-            "intra-provider handoff migrates the live deployment: one "
-            "control-plane RTT, no renegotiation, no container restarts",
+            "intra-provider handoff is a stateful make-before-break "
+            "migration: containers are instantiated at the new AP, "
+            "middlebox state is checkpointed and restored, and the "
+            "epoch-fenced cutover commits atomically — no renegotiation",
             "inter-provider roams pay the E12 join cost; partial "
             "support degrades to the PVNC's required services rather "
             "than failing",

@@ -30,6 +30,12 @@ class FaultKind(enum.Enum):
     HOST_UP = "host_up"
     PROVIDER_SILENCE = "provider_silence"
     DM_DROP = "dm_drop"
+    # Migration-window faults: armed on the provider's migration
+    # coordinator and consumed by the next transaction that reaches
+    # the matching two-phase-commit window.
+    MIGRATION_TARGET_CRASH = "migration_target_crash"     # during PREPARE
+    MIGRATION_TRANSFER_LOSS = "migration_transfer_loss"   # checkpoint lost
+    MIGRATION_COMMIT_SILENCE = "migration_commit_silence"  # during COMMIT
 
 
 #: Kinds whose target names a link (two endpoint nodes).

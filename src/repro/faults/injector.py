@@ -79,6 +79,9 @@ class FaultInjector:
             FaultKind.HOST_UP: self._host_up,
             FaultKind.PROVIDER_SILENCE: self._silence,
             FaultKind.DM_DROP: self._dm_drop,
+            FaultKind.MIGRATION_TARGET_CRASH: self._migration_target_crash,
+            FaultKind.MIGRATION_TRANSFER_LOSS: self._migration_transfer_loss,
+            FaultKind.MIGRATION_COMMIT_SILENCE: self._migration_commit_silence,
         }[event.kind]
         detail, deployment_ids = handler(event)
         applied = AppliedFault(
@@ -176,6 +179,30 @@ class FaultInjector:
         count = int(event.param("count", 1))
         self.provider.discovery.drop_next_dms += count
         return f"next {count} DMs will be dropped", ()
+
+    # Migration-window faults arm the provider's migration coordinator;
+    # the next transaction reaching the matching two-phase-commit window
+    # consumes the armed fault deterministically.
+
+    def _coordinator(self):
+        from repro.core.deployment.migration import ensure_coordinator
+
+        return ensure_coordinator(self.provider.manager, ledger=self.ledger)
+
+    def _migration_target_crash(self, event: FaultEvent):
+        count = int(event.param("count", 1))
+        self._coordinator().arm_target_crash(count)
+        return f"next {count} migration PREPARE(s) will crash the target", ()
+
+    def _migration_transfer_loss(self, event: FaultEvent):
+        count = int(event.param("count", 1))
+        self._coordinator().arm_transfer_loss(count)
+        return f"next {count} checkpoint transfer(s) will be lost", ()
+
+    def _migration_commit_silence(self, event: FaultEvent):
+        duration = event.param("duration", 1.0)
+        self._coordinator().arm_commit_silence(duration)
+        return f"provider will go silent {duration:g}s at next COMMIT", ()
 
     # -- the event trace --------------------------------------------------
 

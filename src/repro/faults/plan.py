@@ -18,6 +18,11 @@ Three ways to build one:
       at 2.2  drop-dm count=3          # next 3 DMs are lost
       at 3.0  host-up nfv0
       at 3.5  link-up ap0 agg
+      # migration-window faults arm the migration coordinator and hit
+      # the next transaction reaching the matching 2PC window:
+      at 4.0  migration-target-crash   # target dies during PREPARE
+      at 4.0  transfer-loss count=2    # next 2 checkpoint ships lost
+      at 4.0  commit-silence duration=0.5   # provider mute at COMMIT
 
 Experiments declare scripts like the above and hand them to
 :func:`repro.experiments.harness.install_fault_plan`.
@@ -40,6 +45,9 @@ _VERBS = {
     "host-up": FaultKind.HOST_UP,
     "silence": FaultKind.PROVIDER_SILENCE,
     "drop-dm": FaultKind.DM_DROP,
+    "migration-target-crash": FaultKind.MIGRATION_TARGET_CRASH,
+    "transfer-loss": FaultKind.MIGRATION_TRANSFER_LOSS,
+    "commit-silence": FaultKind.MIGRATION_COMMIT_SILENCE,
 }
 
 

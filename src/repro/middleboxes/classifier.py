@@ -68,3 +68,12 @@ class TrafficClassifier(Middlebox):
         packet.metadata[CLASS_KEY] = traffic_class
         self.class_counts[traffic_class] += 1
         return Verdict.rewritten("classified", traffic_class=traffic_class)
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["class_counts"] = dict(self.class_counts)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.class_counts.update(state.get("class_counts", {}))

@@ -56,6 +56,17 @@ class LruCache:
             _, evicted = self._entries.popitem(last=False)
             self.size_bytes -= len(evicted)
 
+    def export_entries(self) -> list[tuple[str, bytes]]:
+        """Entries in LRU order (least recent first)."""
+        return list(self._entries.items())
+
+    def import_entries(self, entries: list[tuple[str, bytes]]) -> None:
+        """Replace the cache contents, preserving LRU order."""
+        self._entries.clear()
+        self.size_bytes = 0
+        for url, body in entries:
+            self.put(url, bytes(body))
+
 
 class Prefetcher(Middlebox):
     """URL cache + link prefetch, charged to the network side."""
@@ -85,6 +96,35 @@ class Prefetcher(Middlebox):
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state.update(
+            cache_capacity=self.cache.capacity_bytes,
+            cache_entries=[
+                [url, body] for url, body in self.cache.export_entries()
+            ],
+            hits=self.hits,
+            misses=self.misses,
+            prefetches_issued=self.prefetches_issued,
+            prefetch_bytes=self.prefetch_bytes,
+            bytes_served_from_cache=self.bytes_served_from_cache,
+        )
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.cache.capacity_bytes = state.get(
+            "cache_capacity", self.cache.capacity_bytes
+        )
+        self.cache.import_entries(
+            [(url, body) for url, body in state.get("cache_entries", [])]
+        )
+        self.hits = state.get("hits", 0)
+        self.misses = state.get("misses", 0)
+        self.prefetches_issued = state.get("prefetches_issued", 0)
+        self.prefetch_bytes = state.get("prefetch_bytes", 0)
+        self.bytes_served_from_cache = state.get("bytes_served_from_cache", 0)
 
     def inspect(self, packet: Packet, context: ProcessingContext) -> Verdict:
         payload = packet.payload

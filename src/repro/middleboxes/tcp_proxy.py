@@ -47,6 +47,15 @@ class SplitTcpProxy(Middlebox):
             self.flows_split += 1
         return Verdict.rewritten("connection split", proxy=self.name)
 
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["flows_split"] = self.flows_split
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.flows_split = state.get("flows_split", 0)
+
     # -- flow-level model ------------------------------------------------------
 
     def transfer_time(

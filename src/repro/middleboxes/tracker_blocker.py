@@ -54,3 +54,14 @@ class TrackerBlocker(Middlebox):
         self.blocked_bytes += packet.size
         context.emit("tracker_blocker", self.name, host=request.host)
         return Verdict.dropped(f"tracker domain {request.host}")
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state.update(blocked_requests=self.blocked_requests,
+                     blocked_bytes=self.blocked_bytes)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.blocked_requests = state.get("blocked_requests", 0)
+        self.blocked_bytes = state.get("blocked_bytes", 0)

@@ -22,6 +22,70 @@ from repro.units import MB, MICROSECOND, MILLISECOND
 _container_ids = itertools.count(1)
 
 
+def encode_state(obj) -> bytes:
+    """Deterministically serialize middlebox state for size accounting.
+
+    A bencode-like canonical encoding over the JSON-ish value space
+    middleboxes export (dict/list/tuple/str/bytes/bool/int/float/None).
+    Checkpoint transfer time is charged from ``len(encode_state(...))``,
+    so the encoding must be stable across runs — dict items are emitted
+    in sorted key order.
+    """
+    if obj is None:
+        return b"n"
+    if isinstance(obj, bool):
+        return b"t" if obj else b"f"
+    if isinstance(obj, int):
+        return b"i" + str(obj).encode() + b"e"
+    if isinstance(obj, float):
+        return b"x" + repr(obj).encode() + b"e"
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"s" + str(len(data)).encode() + b":" + data
+    if isinstance(obj, (bytes, bytearray)):
+        return b"b" + str(len(obj)).encode() + b":" + bytes(obj)
+    if isinstance(obj, (list, tuple)):
+        return b"l" + b"".join(encode_state(item) for item in obj) + b"e"
+    if isinstance(obj, dict):
+        parts = [b"d"]
+        for key in sorted(obj, key=str):
+            parts.append(encode_state(str(key)))
+            parts.append(encode_state(obj[key]))
+        parts.append(b"e")
+        return b"".join(parts)
+    raise SimulationError(
+        f"middlebox state is not checkpointable: {type(obj).__name__}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainerCheckpoint:
+    """A serialized snapshot of one container's middlebox state.
+
+    ``size_bytes`` (the canonical encoding length) is what migration
+    charges against the transfer link; ``state`` is the live dict the
+    target container restores from.
+    """
+
+    service: str
+    container_id: int
+    created_at: float
+    state: dict
+    size_bytes: int
+
+    @classmethod
+    def capture(cls, container: "Container", now: float,
+                service: str = "") -> "ContainerCheckpoint":
+        state = container.middlebox.export_state()
+        return cls(
+            service=service or container.middlebox.service,
+            container_id=container.container_id,
+            created_at=now,
+            state=state,
+            size_bytes=len(encode_state(state)),
+        )
+
+
 @dataclasses.dataclass(frozen=True)
 class ContainerSpec:
     """Resource model for one middlebox container.
@@ -69,6 +133,8 @@ class Container:
         self.busy_seconds = 0.0
         self.crashes = 0
         self.crashed_at: float | None = None
+        self.checkpoints_taken = 0
+        self.restored_from: int | None = None   # source container id
         self._start_epoch = 0     # invalidates stale instantiation events
 
     @property
@@ -128,6 +194,38 @@ class Container:
         self.packets_processed += 1
         self.busy_seconds += self.spec.per_packet_delay
         return self.middlebox.process(packet, context)
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def checkpoint(self, now: float) -> ContainerCheckpoint:
+        """Snapshot the middlebox state for migration.
+
+        Only a live instance can be checkpointed — a crashed container
+        has no consistent state to ship.
+        """
+        if self.state not in (ContainerState.RUNNING,
+                              ContainerState.INSTANTIATING):
+            raise SimulationError(
+                f"cannot checkpoint container {self.name} in "
+                f"{self.state.value}"
+            )
+        self.checkpoints_taken += 1
+        return ContainerCheckpoint.capture(self, now)
+
+    def restore(self, checkpoint: ContainerCheckpoint) -> None:
+        """Load a checkpoint into this container's middlebox."""
+        if self.state in (ContainerState.STOPPED, ContainerState.CRASHED):
+            raise SimulationError(
+                f"cannot restore into container {self.name} in "
+                f"{self.state.value}"
+            )
+        if checkpoint.service != self.middlebox.service:
+            raise SimulationError(
+                f"checkpoint of {checkpoint.service!r} does not fit "
+                f"container running {self.middlebox.service!r}"
+            )
+        self.middlebox.import_state(checkpoint.state)
+        self.restored_from = checkpoint.container_id
 
     @property
     def instantiation_latency(self) -> float:

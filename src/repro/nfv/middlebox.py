@@ -89,6 +89,22 @@ class Middlebox:
         """Decide what happens to ``packet``.  Default: pass."""
         return Verdict.passed()
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of this middlebox's mutable state.
+
+        Subclasses with state beyond the verdict counters extend the
+        base dict.  The contract (property-tested) is that
+        ``import_state(export_state())`` on a fresh instance is an
+        identity: the restored instance exports byte-identical state.
+        """
+        return {"stats": dict(self.stats)}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.stats.update(state.get("stats", {}))
+
     def process(self, packet: Packet, context: ProcessingContext) -> Verdict:
         """Run :meth:`inspect` with stats and trace bookkeeping."""
         verdict = self.inspect(packet, context)

@@ -247,10 +247,17 @@ class TestLifecycle:
         ack = manager.deploy(make_request(), make_env(), "dev_alice",
                              now=sim.now)
         attach_device(topo, "dev_alice2", ap="ap1")
-        result = migrate_device(manager, ack.deployment_id, "dev_alice2")
-        assert result.deployment_id == ack.deployment_id
-        deployment = manager.deployment(ack.deployment_id)
+        result = migrate_device(manager, ack.deployment_id, "dev_alice2",
+                                now=sim.now)
+        # Migration is make-before-break: the cutover commits to a
+        # *fresh* deployment id and fences the superseded source.
+        assert result.committed
+        assert result.source_deployment_id == ack.deployment_id
+        assert result.deployment_id != ack.deployment_id
+        deployment = manager.deployment(result.deployment_id)
         assert deployment.embedding.device_node == "dev_alice2"
+        source = manager.deployment(ack.deployment_id)
+        assert source.state is DeploymentState.SUPERSEDED
 
     def test_lease_expiry_sweeps(self, world):
         sim, _, _, _, manager = world

@@ -24,13 +24,16 @@ at 2.0 silence duration=1.5
 at 2.2 drop-dm count=3
 at 3.0 host-up nfv0
 at 3.5 link-up ap0 agg
+at 4.0 migration-target-crash
+at 4.1 transfer-loss count=2
+at 4.2 commit-silence duration=0.5
 """
 
 
 class TestDsl:
     def test_parses_every_verb(self):
         plan = parse_fault_plan(SCRIPT)
-        assert len(plan) == 9
+        assert len(plan) == 12
         kinds = [e.kind for e in plan]
         assert set(kinds) == set(FaultKind)
 
