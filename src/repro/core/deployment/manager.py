@@ -42,7 +42,8 @@ from repro.netsim.topology import PhysicalTopology
 from repro.netsim.trace import Tracer
 from repro.nfv.container import Container, ContainerSpec, ContainerState
 from repro.nfv.hypervisor import NfvHost
-from repro.nfv.middlebox import Middlebox, ProcessingContext, VerdictKind
+from repro.nfv.middlebox import Middlebox, ProcessingContext, Verdict, VerdictKind
+from repro.nfv.pipeline import Pipeline, PipelineStep, labeled_verdict
 from repro.nfv.sandbox import Capability, Sandbox
 from repro.sdn.actions import Output, ToChain
 from repro.sdn.controller import Controller
@@ -67,7 +68,20 @@ class DataPathOutcome:
 
 class PvnDataPath:
     """The per-deployment packet pipeline: classifier -> class chain ->
-    terminal (Fig. 1(a) realised)."""
+    terminal (Fig. 1(a) realised).
+
+    Execution is compiled: each traffic class gets one
+    :class:`~repro.nfv.pipeline.Pipeline` whose steps pre-resolve the
+    sandbox/middlebox runner, the path-proof stamp, and the per-hop
+    delay; a pooled :class:`ProcessingContext` is reused across
+    packets.  Compiled pipelines are invalidated whenever the
+    datapath's routing mode changes — degradation to a tunnel, a
+    migration bridge opening or closing, or an epoch-fence adoption —
+    so a stale compiled pipeline can never serve post-cutover traffic.
+    Container crash state is *not* compiled in: each step rechecks its
+    container at run time, so repairs that swap a container take effect
+    immediately without a flush.
+    """
 
     def __init__(
         self,
@@ -95,13 +109,8 @@ class PvnDataPath:
         # Shared with the Deployment record: repairs that swap a
         # container are visible here without re-plumbing.
         self.containers = containers if containers is not None else {}
-        # When set, the PVN has degraded to VPN mode: every packet is
-        # redirected to this tunnel endpoint instead of the chain.
-        self.degraded_to = ""
-        # When set, a live migration is in its TRANSFER window and
-        # traffic bridges through this tunnel endpoint (make-before-
-        # break: time-to-protection never drops to zero).
-        self.bridging_to = ""
+        self._degraded_to = ""
+        self._bridging_to = ""
         # Epoch fencing (split-brain protection).  The migration
         # coordinator adopts a datapath by setting these three; a
         # datapath whose epoch falls behind the registry's current
@@ -109,13 +118,136 @@ class PvnDataPath:
         # double-processing them after a cutover it missed.
         self.fencing = None        # EpochRegistry | None
         self.lineage = ""
-        self.epoch = 0
+        self._epoch = 0
         self.stale_rejections = 0
+        # Compiled fast path: per-traffic-class pipelines, a compiled
+        # classifier runner, redirect pipelines, one pooled context.
+        self._pipelines: dict[str, Pipeline] = {}
+        self._classifier_runner = None
+        self._redirect_pipeline: Pipeline | None = None
+        self._pooled_context: ProcessingContext | None = None
+        self.pipeline_compiles = 0
+        self.pipeline_invalidations = 0
+
+    # -- invalidation-fenced routing-mode attributes -----------------------
+
+    @property
+    def degraded_to(self) -> str:
+        """Tunnel endpoint after degradation to VPN mode ("" = none)."""
+        return self._degraded_to
+
+    @degraded_to.setter
+    def degraded_to(self, endpoint: str) -> None:
+        if endpoint != self._degraded_to:
+            self._degraded_to = endpoint
+            self.invalidate_pipelines("degraded_to changed")
+
+    @property
+    def bridging_to(self) -> str:
+        """Migration TRANSFER-window bridge endpoint ("" = none)."""
+        return self._bridging_to
+
+    @bridging_to.setter
+    def bridging_to(self, endpoint: str) -> None:
+        if endpoint != self._bridging_to:
+            self._bridging_to = endpoint
+            self.invalidate_pipelines("bridging_to changed")
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        if value != self._epoch:
+            self._epoch = value
+            self.invalidate_pipelines("epoch fence advanced")
+
+    def invalidate_pipelines(self, reason: str = "") -> None:
+        """Drop every compiled pipeline (next packet recompiles).
+
+        Part of the migration/degradation contract: any change to the
+        routing mode or the epoch fence must flush compiled state so a
+        superseded pipeline cannot serve another packet.
+        """
+        if (self._pipelines or self._classifier_runner is not None
+                or self._redirect_pipeline is not None):
+            self.pipeline_invalidations += 1
+        self._pipelines.clear()
+        self._classifier_runner = None
+        self._redirect_pipeline = None
+
+    # -- compilation --------------------------------------------------------
 
     def _context(self, packet: Packet, now: float) -> ProcessingContext:
-        return ProcessingContext(
-            now=now, owner=packet.owner, tracer=self.tracer,
-            trusted_execution=self.trusted_execution,
+        pooled = self._pooled_context
+        if pooled is None:
+            pooled = ProcessingContext(
+                now=now, owner=packet.owner, tracer=self.tracer,
+                trusted_execution=self.trusted_execution,
+            )
+            self._pooled_context = pooled
+            return pooled
+        return pooled.reset(now, packet.owner)
+
+    def _resolve_runner(self, service: str):
+        """The pre-bound per-packet callable for one service."""
+        sandbox = self.sandboxes.get(service)
+        if sandbox is not None:
+            return sandbox.process
+        return self.middleboxes[service].process
+
+    def _make_step(self, service: str) -> PipelineStep:
+        keyring = self.keyring
+        runner = self._resolve_runner(service)
+        containers = self.containers
+        crashed = labeled_verdict(
+            Verdict.dropped(f"middlebox {service} crashed"), "crashed",
+        )
+
+        def precheck(packet: Packet, context: ProcessingContext):
+            # A crashed middlebox is a service interruption, not a
+            # silent bypass: the packet is lost until the recovery
+            # layer repairs the chain or degrades to tunneling.
+            # Checked at run time so repairs apply without a flush.
+            container = containers.get(service)
+            if container is not None and container.state in (
+                    ContainerState.CRASHED, ContainerState.STOPPED):
+                return crashed
+            return None
+
+        def run(packet: Packet, context: ProcessingContext):
+            stamp(packet, service, keyring)
+            return runner(packet, context)
+
+        return PipelineStep(
+            name=service, runner=run,
+            delay=self.container_spec.per_packet_delay, precheck=precheck,
+        )
+
+    def _pipeline_for(self, traffic_class: str) -> Pipeline:
+        pipeline = self._pipelines.get(traffic_class)
+        if pipeline is None:
+            steps = tuple(
+                self._make_step(service)
+                for service in self.compiled.pipeline_for(traffic_class)
+                if service not in self.skip_services
+            )
+            pipeline = Pipeline(
+                f"{self.deployment_id}/{traffic_class}", steps,
+                drop_suffix=f" (pvn {self.deployment_id})",
+            )
+            self._pipelines[traffic_class] = pipeline
+            self.pipeline_compiles += 1
+        return pipeline
+
+    def _service_down(self, service: str) -> bool:
+        """A service is down when its container crashed (or stopped)
+        and has not been repaired yet; services without containers
+        (reused physical middleboxes) never crash this way."""
+        container = self.containers.get(service)
+        return container is not None and container.state in (
+            ContainerState.CRASHED, ContainerState.STOPPED,
         )
 
     def _run_service(
@@ -127,14 +259,24 @@ class PvnDataPath:
             return sandbox.process(packet, context)
         return self.middleboxes[service].process(packet, context)
 
-    def _service_down(self, service: str) -> bool:
-        """A service is down when its container crashed (or stopped)
-        and has not been repaired yet; services without containers
-        (reused physical middleboxes) never crash this way."""
-        container = self.containers.get(service)
-        return container is not None and container.state in (
-            ContainerState.CRASHED, ContainerState.STOPPED,
+    def _redirect(self, endpoint: str, label: str,
+                  packet: Packet, now: float) -> DataPathOutcome:
+        """The degraded/bridged path, run through a tunnel pipeline."""
+        pipeline = self._redirect_pipeline
+        if pipeline is None:
+            pipeline = Pipeline.tunnel(
+                f"{self.deployment_id}/{label}", endpoint, label,
+            )
+            self._redirect_pipeline = pipeline
+            self.pipeline_compiles += 1
+        result = pipeline.run(packet, self._context(packet, now))
+        return DataPathOutcome(
+            action=ACTION_TUNNEL,
+            tunnel_endpoint=result.tunnel_endpoint,
+            verdict_reasons=result.labels,
         )
+
+    # -- the per-packet fast path -------------------------------------------
 
     def process(self, packet: Packet, now: float) -> DataPathOutcome:
         """Run one packet through the full PVN pipeline."""
@@ -156,84 +298,61 @@ class PvnDataPath:
                 verdict_reasons=("fencing:stale_epoch",),
             )
         self.packets_processed += 1
-        if self.bridging_to:
+        if self._bridging_to:
             # Mid-migration TRANSFER window: the source chain is
             # frozen for checkpointing, traffic rides the tunnel
             # fallback until COMMIT or ABORT.
-            return DataPathOutcome(
-                action=ACTION_TUNNEL,
-                tunnel_endpoint=self.bridging_to,
-                verdict_reasons=("migrating:bridge",),
-            )
-        if self.degraded_to:
+            return self._redirect(self._bridging_to, "migrating:bridge",
+                                  packet, now)
+        if self._degraded_to:
             # Graceful degradation (§3.3 fallback): the chain is gone,
             # traffic continues end-to-end through the VPN tunnel.
-            return DataPathOutcome(
-                action=ACTION_TUNNEL,
-                tunnel_endpoint=self.degraded_to,
-                verdict_reasons=("degraded:tunnel",),
-            )
+            return self._redirect(self._degraded_to, "degraded:tunnel",
+                                  packet, now)
         context = self._context(packet, now)
         delay = 0.0
-        reasons: list[str] = []
 
-        if ("classifier" not in self.skip_services
-                and self._service_down("classifier")):
-            packet.mark_dropped(
-                f"classifier crashed (pvn {self.deployment_id})"
-            )
-            return DataPathOutcome(
-                action=ACTION_DROP,
-                verdict_reasons=("classifier:crashed",),
-            )
         if "classifier" not in self.skip_services:
+            if self._service_down("classifier"):
+                packet.mark_dropped(
+                    f"classifier crashed (pvn {self.deployment_id})"
+                )
+                return DataPathOutcome(
+                    action=ACTION_DROP,
+                    verdict_reasons=("classifier:crashed",),
+                )
+            runner = self._classifier_runner
+            if runner is None:
+                runner = self._resolve_runner("classifier")
+                self._classifier_runner = runner
             delay += self.container_spec.per_packet_delay
-            self._run_service("classifier", packet, context)
+            stamp(packet, "classifier", self.keyring)
+            runner(packet, context)
         traffic_class = packet.metadata.get(CLASS_KEY, "other")
 
-        pipeline = self.compiled.pipeline_for(traffic_class)
-        terminal = self.compiled.terminal_for(traffic_class)
-        for service in pipeline:
-            if service in self.skip_services:
-                continue
-            if self._service_down(service):
-                # A crashed middlebox is a service interruption, not a
-                # silent bypass: the packet is lost until the recovery
-                # layer repairs the chain or degrades to tunneling.
-                packet.mark_dropped(
-                    f"middlebox {service} crashed (pvn {self.deployment_id})"
-                )
-                return DataPathOutcome(
-                    action=ACTION_DROP, added_delay=delay,
-                    traffic_class=traffic_class,
-                    verdict_reasons=(*reasons, f"{service}:crashed"),
-                )
-            delay += self.container_spec.per_packet_delay
-            verdict = self._run_service(service, packet, context)
-            reasons.append(f"{service}:{verdict.kind.value}")
-            if verdict.kind is VerdictKind.DROP:
-                packet.mark_dropped(
-                    f"{verdict.reason} (pvn {self.deployment_id})"
-                )
-                return DataPathOutcome(
-                    action=ACTION_DROP, added_delay=delay,
-                    traffic_class=traffic_class,
-                    verdict_reasons=tuple(reasons),
-                )
-            if verdict.kind is VerdictKind.TUNNEL:
-                return DataPathOutcome(
-                    action=ACTION_TUNNEL,
-                    tunnel_endpoint=verdict.tunnel_endpoint,
-                    added_delay=delay,
-                    traffic_class=traffic_class,
-                    verdict_reasons=tuple(reasons),
-                )
+        result = self._pipeline_for(traffic_class).run(packet, context)
+        delay += result.added_delay
+        if result.terminal_kind is VerdictKind.DROP:
+            return DataPathOutcome(
+                action=ACTION_DROP, added_delay=delay,
+                traffic_class=traffic_class,
+                verdict_reasons=result.labels,
+            )
+        if result.terminal_kind is VerdictKind.TUNNEL:
+            return DataPathOutcome(
+                action=ACTION_TUNNEL,
+                tunnel_endpoint=result.tunnel_endpoint,
+                added_delay=delay,
+                traffic_class=traffic_class,
+                verdict_reasons=result.labels,
+            )
 
+        terminal = self.compiled.terminal_for(traffic_class)
         if terminal == "drop":
             packet.mark_dropped(f"policy drop (pvn {self.deployment_id})")
             return DataPathOutcome(
                 action=ACTION_DROP, added_delay=delay,
-                traffic_class=traffic_class, verdict_reasons=tuple(reasons),
+                traffic_class=traffic_class, verdict_reasons=result.labels,
             )
         if terminal.startswith("tunnel:"):
             return DataPathOutcome(
@@ -241,12 +360,34 @@ class PvnDataPath:
                 tunnel_endpoint=terminal.split(":", 1)[1],
                 added_delay=delay,
                 traffic_class=traffic_class,
-                verdict_reasons=tuple(reasons),
+                verdict_reasons=result.labels,
             )
         return DataPathOutcome(
             action=ACTION_FORWARD, added_delay=delay,
-            traffic_class=traffic_class, verdict_reasons=tuple(reasons),
+            traffic_class=traffic_class, verdict_reasons=result.labels,
         )
+
+    # -- observability ------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        counts = {
+            "packets_processed": self.packets_processed,
+            "stale_rejections": self.stale_rejections,
+            "pipeline_compiles": self.pipeline_compiles,
+            "pipeline_invalidations": self.pipeline_invalidations,
+        }
+        for traffic_class, pipeline in sorted(self._pipelines.items()):
+            counts[f"{traffic_class}_packets"] = pipeline.packets_in
+        return counts
+
+    def publish_counters(self, now: float,
+                         tracer: Tracer | None = None) -> None:
+        """Emit datapath throughput counters (category ``"datapath"``)."""
+        # Explicit None check: an empty Tracer is falsy (__len__ == 0).
+        sink = tracer if tracer is not None else self.tracer
+        if sink is not None:
+            sink.emit(now, "datapath", self.deployment_id, event="counters",
+                      **self.counters())
 
 
 class DeploymentState(enum.Enum):

@@ -160,6 +160,13 @@ class RobustnessSupervisor:
                 f"{self.policy.fallback_endpoint} after {attempts} "
                 "failed repairs",
             )
+            # Snapshot the datapath's pipeline counters at the moment
+            # of degradation (the setter just flushed its compiled
+            # pipelines), so chaos experiments can see the compiled
+            # fast path being torn down, not just the recovery event.
+            deployment = self.manager.deployments.get(deployment_id)
+            if deployment is not None:
+                deployment.datapath.publish_counters(now)
 
     def _emit(self, deployment_id: str, kind: str, detail: str) -> None:
         event = RecoveryEvent(

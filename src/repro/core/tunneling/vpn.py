@@ -106,6 +106,29 @@ class FullTunnel:
         """Payload fraction after encapsulation overhead."""
         return (mtu - ENCAP_OVERHEAD_BYTES) / mtu
 
+    def as_pipeline(self, label: str = "vpn:encap"):
+        """This tunnel as a terminal redirect Pipeline.
+
+        Lets the encap path run through the same
+        :class:`~repro.nfv.pipeline.Pipeline` abstraction as chains and
+        the PVN datapath: every packet yields a TUNNEL verdict toward
+        the tunnel's endpoint node, and the pipeline's throughput
+        counters publish through a Tracer like any other layer.
+        A blocked VPN port fails at build time, same as
+        :meth:`effective_path`.
+        """
+        if self.port_blocked:
+            raise TunnelError(
+                f"tunnel to {self.endpoint_node} blocked by the access "
+                "network (VPN port filtered)"
+            )
+        from repro.nfv.pipeline import Pipeline
+
+        return Pipeline.tunnel(
+            f"tunnel/{self.device_node}->{self.endpoint_node}",
+            self.endpoint_node, label,
+        )
+
 
 def direct_path(
     topo: PhysicalTopology,

@@ -1,0 +1,147 @@
+"""E16 — §4 scalability of the per-packet datapath itself.
+
+The paper's §4 asks whether access ISPs can afford a virtual network
+per device.  E1 answers for memory and instantiation latency; this
+experiment answers for the *per-packet* cost: with one PVN steering
+rule per subscriber installed at the ingress switch, a naive datapath
+pays a linear scan over all installed rules for every packet — per-
+packet cost grows with total PVN count, the opposite of what scaling
+to millions of users needs.
+
+The microflow cache (:mod:`repro.sdn.flowcache`) memoizes the winning
+rule and its compiled action closure per exact flow, making the steady-
+state cost O(1) in the rule count.  This experiment sweeps the
+installed-PVN count, replays the same packet schedule through the
+linear path (cache disabled) and the cached fast path, and reports
+packets/sec for both plus the cache-counter snapshot published through
+the :class:`~repro.netsim.trace.Tracer` (hits, misses, invalidations —
+a PVN teardown mid-run exercises the invalidation fence).
+
+Timing rows are wall-clock measurements and vary run to run; the
+*shape* (cached throughput flat in the rule count, linear throughput
+falling) is what the bench suite asserts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.harness import ExperimentResult, main
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import Tracer
+from repro.sdn.actions import Drop
+from repro.sdn.flowtable import FlowRule
+from repro.sdn.match import Match
+from repro.sdn.switch import SdnSwitch
+
+#: Distinct concurrent microflows in the replayed schedule.
+FLOWS = 64
+#: Packets per sweep point (each flow repeats PACKETS / FLOWS times).
+PACKETS = 4096
+
+
+def _build_switch(n_rules: int, tracer: Tracer) -> SdnSwitch:
+    sim = Simulator()
+    switch = SdnSwitch(sim, "ingress", tracer=tracer)
+    for i in range(n_rules):
+        switch.table.install(FlowRule(
+            match=Match(owner=f"user{i}"),
+            actions=(Drop(reason="bench"),),
+            pvn_id=f"user{i}/pvn{i}",
+        ))
+    return switch
+
+def _packet_schedule(n_rules: int) -> list[Packet]:
+    packets = []
+    for i in range(PACKETS):
+        flow = i % FLOWS
+        # Spread the flows evenly across the whole rule table so the
+        # linear path's average scan depth tracks the installed count.
+        owner = f"user{(flow * n_rules) // FLOWS % n_rules}"
+        packets.append(Packet(
+            src=f"10.0.{flow % 256}.1", dst="198.51.100.5",
+            dst_port=443, owner=owner,
+        ))
+    return packets
+
+
+def _replay(switch: SdnSwitch, packets: list[Packet]) -> float:
+    """Wall-clock packets/sec for one replay of the schedule."""
+    process = switch.process
+    start = time.perf_counter()
+    for packet in packets:
+        process(packet)
+    elapsed = time.perf_counter() - start
+    return len(packets) / elapsed if elapsed > 0 else float("inf")
+
+
+def run(
+    seed: int = 0,
+    rule_counts: tuple[int, ...] = (10, 100, 1000),
+    repeats: int = 3,
+) -> ExperimentResult:
+    rows = []
+    metrics: dict[str, float] = {}
+    for n_rules in rule_counts:
+        tracer = Tracer()
+        packets = _packet_schedule(n_rules)
+
+        linear_switch = _build_switch(n_rules, tracer)
+        linear_switch.flow_cache.enabled = False
+        linear_pps = max(_replay(linear_switch, packets)
+                         for _ in range(repeats))
+
+        cached_switch = _build_switch(n_rules, tracer)
+        cached_pps = max(_replay(cached_switch, packets)
+                         for _ in range(repeats))
+
+        # Exercise the invalidation fence: tearing down one PVN's rules
+        # flushes the cache, and the replay after it refills per flow.
+        cached_switch.table.remove_pvn(f"user0/pvn{0}")
+        _replay(cached_switch, packets)
+        cached_switch.publish_counters(cached_switch.sim.now)
+
+        snapshot = tracer.latest("flowcache", cached_switch.flow_cache.name)
+        hits = float(snapshot.get("hits", 0))
+        misses = float(snapshot.get("misses", 0))
+        invalidations = float(snapshot.get("invalidations", 0))
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        speedup = cached_pps / linear_pps if linear_pps else float("inf")
+
+        rows.append((
+            n_rules,
+            f"{linear_pps:,.0f}",
+            f"{cached_pps:,.0f}",
+            f"{speedup:.1f}x",
+            f"{100 * hit_rate:.1f}%",
+            int(invalidations),
+        ))
+        metrics[f"linear_pps_at_{n_rules}"] = linear_pps
+        metrics[f"cached_pps_at_{n_rules}"] = cached_pps
+        metrics[f"speedup_at_{n_rules}"] = speedup
+        metrics[f"cache_hit_rate_at_{n_rules}"] = hit_rate
+        metrics[f"cache_invalidations_at_{n_rules}"] = invalidations
+
+    return ExperimentResult(
+        experiment_id="E16",
+        title="§4 datapath fast path: microflow cache vs linear rule scan",
+        columns=["installed PVN rules", "linear pkts/s", "cached pkts/s",
+                 "speedup", "cache hit rate", "invalidations"],
+        rows=rows,
+        metrics=metrics,
+        notes=[
+            "linear per-packet cost grows with installed PVN count; the "
+            "microflow cache makes steady-state lookup O(1), so cached "
+            "throughput stays flat as subscribers scale (§4)",
+            "a PVN teardown mid-run flushes the cache (invalidations "
+            "counter) and the next packet of each flow refills it — "
+            "cached lookups never serve removed rules",
+            "timing rows are wall-clock and vary run to run; only the "
+            "shape is asserted by the bench suite",
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(run)

@@ -32,6 +32,10 @@ class Node:
         self.sim = sim
         self.name = name
         self.links: dict[str, "Link"] = {}
+        # Per-node throughput counter: every receive() increments it,
+        # giving datapath experiments a uniform packets-seen figure
+        # across hosts, routers, and SDN switches.
+        self.packets_seen = 0
 
     def attach_link(self, link: "Link") -> None:
         """Register a link whose far end is another node (Link calls this)."""
@@ -54,6 +58,7 @@ class Node:
 
     def receive(self, packet: Packet, link: "Link") -> None:
         """Handle an arriving packet.  Subclasses override."""
+        self.packets_seen += 1
         packet.record_hop(self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

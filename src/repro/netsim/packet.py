@@ -67,6 +67,16 @@ class Packet:
         """The (src, dst, protocol, src_port, dst_port) key."""
         return (self.src, self.dst, self.protocol, self.src_port, self.dst_port)
 
+    def flow_key(self) -> tuple[str, str, str, int, int, str]:
+        """The exact-match microflow key: five-tuple plus ``owner``.
+
+        ``owner`` is part of the key because flow rules match on it
+        (per-user isolation), so two packets identical in the five-tuple
+        but owned by different subscribers can win different rules.
+        """
+        return (self.src, self.dst, self.protocol,
+                self.src_port, self.dst_port, self.owner)
+
     def record_hop(self, node_name: str) -> None:
         """Append a traversed node to the audit trail."""
         self.trail.append(node_name)

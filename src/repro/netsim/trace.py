@@ -68,6 +68,24 @@ class Tracer:
         """Histogram of ``fields[key]`` across a category."""
         return collections.Counter(self.values(category, key))
 
+    def latest(
+        self, category: str, subject: str | None = None
+    ) -> TraceRecord | None:
+        """The most recent record in ``category`` (None if empty).
+
+        Datapath layers emit periodic counter snapshots (categories
+        ``"flowcache"`` / ``"pipeline"`` / ``"switch"`` /
+        ``"datapath"``); the latest snapshot is the current counter
+        state.
+        """
+        for record in reversed(self._records):
+            if record.category != category:
+                continue
+            if subject is not None and record.subject != subject:
+                continue
+            return record
+        return None
+
 
 @dataclasses.dataclass
 class LatencySummary:

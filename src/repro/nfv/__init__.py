@@ -9,6 +9,7 @@ from repro.nfv.middlebox import (
     Verdict,
     VerdictKind,
 )
+from repro.nfv.pipeline import Pipeline, PipelineResult, PipelineStep
 from repro.nfv.placement import (
     PlacementDecision,
     PlacementPlan,
@@ -27,6 +28,9 @@ __all__ = [
     "HostCapacity",
     "Middlebox",
     "NfvHost",
+    "Pipeline",
+    "PipelineResult",
+    "PipelineStep",
     "PlacementDecision",
     "PlacementPlan",
     "PlacementRequest",

@@ -7,6 +7,11 @@ callback, REWRITE continues with the modified packet.
 
 The chain also aggregates the per-packet latency the experiments
 charge: the sum of each traversed container's ``per_packet_delay``.
+
+Execution is delegated to a compiled :class:`~repro.nfv.pipeline.Pipeline`
+(:meth:`ServiceChain.compile`): hop runners and per-hop delays are
+resolved once instead of per packet, and :meth:`as_executor` reuses a
+pooled :class:`ProcessingContext` across packets.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.netsim.packet import Packet
 from repro.nfv.container import Container
 from repro.nfv.middlebox import ProcessingContext, Verdict, VerdictKind
+from repro.nfv.pipeline import Pipeline, PipelineStep
 from repro.nfv.sandbox import Sandbox
 
 TunnelCallback = Callable[[Packet, str], None]
@@ -66,6 +72,8 @@ class ServiceChain:
         self.packets_in = 0
         self.packets_dropped = 0
         self.packets_tunneled = 0
+        self._pipeline: Pipeline | None = None
+        self._compiled_hops: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.hops)
@@ -79,37 +87,83 @@ class ServiceChain:
     def memory_bytes(self) -> int:
         return sum(hop.container.spec.memory_bytes for hop in self.hops)
 
+    def compile(self) -> Pipeline:
+        """The compiled pipeline for this chain (cached, auto-refreshed).
+
+        Hop runners and per-hop delays are resolved once; the cached
+        pipeline is recompiled automatically when the hop list changes
+        (and can be dropped explicitly via :meth:`invalidate`).
+        """
+        hop_ids = tuple(id(hop) for hop in self.hops)
+        if self._pipeline is None or hop_ids != self._compiled_hops:
+            self._pipeline = Pipeline(
+                self.chain_id,
+                tuple(
+                    PipelineStep(
+                        name=hop.container.middlebox.name,
+                        runner=hop.process,
+                        delay=hop.container.spec.per_packet_delay,
+                    )
+                    for hop in self.hops
+                ),
+                drop_suffix=f" (chain {self.chain_id})",
+            )
+            self._compiled_hops = hop_ids
+        return self._pipeline
+
+    def invalidate(self) -> None:
+        """Drop the compiled pipeline (next packet recompiles)."""
+        self._pipeline = None
+        self._compiled_hops = ()
+
     def process(self, packet: Packet, context: ProcessingContext) -> ChainResult:
         """Run ``packet`` through the chain."""
         self.packets_in += 1
-        verdicts: list[Verdict] = []
-        delay = 0.0
-        for hop in self.hops:
-            delay += hop.container.spec.per_packet_delay
-            verdict = hop.process(packet, context)
-            verdicts.append(verdict)
-            if verdict.kind is VerdictKind.DROP:
-                self.packets_dropped += 1
-                packet.mark_dropped(f"{verdict.reason} (chain {self.chain_id})")
-                return ChainResult(None, verdicts, delay, VerdictKind.DROP)
-            if verdict.kind is VerdictKind.TUNNEL:
-                self.packets_tunneled += 1
-                packet.metadata["tunneled_to"] = verdict.tunnel_endpoint
-                if self.tunnel_callback is not None:
-                    self.tunnel_callback(packet, verdict.tunnel_endpoint)
-                return ChainResult(None, verdicts, delay, VerdictKind.TUNNEL)
-            # PASS and REWRITE both continue down the chain.
-        terminal = verdicts[-1].kind if verdicts else VerdictKind.PASS
-        if terminal is VerdictKind.REWRITE:
-            terminal = VerdictKind.PASS
-        return ChainResult(packet, verdicts, delay, terminal)
+        result = self.compile().run(packet, context)
+        if result.terminal_kind is VerdictKind.DROP:
+            self.packets_dropped += 1
+        elif result.terminal_kind is VerdictKind.TUNNEL:
+            self.packets_tunneled += 1
+            packet.metadata["tunneled_to"] = result.tunnel_endpoint
+            if self.tunnel_callback is not None:
+                self.tunnel_callback(packet, result.tunnel_endpoint)
+        return ChainResult(result.packet, result.verdicts,
+                           result.added_delay, result.terminal_kind)
 
-    def as_executor(self, context_factory: Callable[[Packet], ProcessingContext]
-                    ) -> Callable[[Packet, str], Packet | None]:
-        """Adapt this chain to the SDN switch's ToChain executor API."""
+    def as_executor(
+        self,
+        context_factory: Callable[[Packet], ProcessingContext] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> Callable[[Packet, str], Packet | None]:
+        """Adapt this chain to the SDN switch's ToChain executor API.
+
+        The executor reuses one pooled :class:`ProcessingContext`
+        across packets instead of allocating per packet.  When
+        ``context_factory`` is given it is consulted once (on the first
+        packet) to seed the pooled context — its tracer and
+        trusted-execution settings persist; per-packet state (``now``
+        from ``clock`` when given, ``owner`` from the packet,
+        ``extras``) is reset for every packet.
+        """
+        pooled: list[ProcessingContext] = []
 
         def executor(packet: Packet, chain_id: str) -> Packet | None:
-            result = self.process(packet, context_factory(packet))
+            if not pooled:
+                if context_factory is not None:
+                    context = context_factory(packet)
+                else:
+                    context = ProcessingContext(
+                        now=clock() if clock is not None else 0.0,
+                        owner=packet.owner,
+                    )
+                pooled.append(context)
+            else:
+                context = pooled[0]
+                context.reset(
+                    clock() if clock is not None else context.now,
+                    packet.owner,
+                )
+            result = self.process(packet, context)
             return result.packet
 
         return executor

@@ -68,6 +68,20 @@ class ProcessingContext:
         if self.tracer is not None:
             self.tracer.emit(self.now, category, subject, **fields)
 
+    def reset(self, now: float, owner: str) -> "ProcessingContext":
+        """Re-arm this context for another packet (pooling support).
+
+        Pipelines reuse one context across packets instead of
+        allocating per packet; everything packet-scoped (``now``,
+        ``owner``, ``extras``) is wiped here so no middlebox can see
+        another packet's leftovers.
+        """
+        self.now = now
+        self.owner = owner
+        if self.extras:
+            self.extras.clear()
+        return self
+
 
 class Middlebox:
     """Base class: override :meth:`inspect`.

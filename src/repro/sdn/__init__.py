@@ -10,6 +10,7 @@ from repro.sdn.actions import (
     Tunnel,
 )
 from repro.sdn.controller import Controller, InstalledRule
+from repro.sdn.flowcache import CacheEntry, FlowCache
 from repro.sdn.flowtable import FlowRule, FlowTable
 from repro.sdn.match import MATCH_ANY, Match
 from repro.sdn.routing import (
@@ -30,8 +31,10 @@ from repro.sdn.verification import (
 
 __all__ = [
     "Action",
+    "CacheEntry",
     "Controller",
     "Drop",
+    "FlowCache",
     "FlowRule",
     "FlowTable",
     "InstalledRule",

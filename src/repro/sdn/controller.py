@@ -82,7 +82,13 @@ class Controller:
                 )
         rule = FlowRule(match=match, actions=actions, priority=priority,
                         pvn_id=pvn_id)
-        self.switch(switch_name).table.install(rule)
+        switch = self.switch(switch_name)
+        switch.table.install(rule)
+        # Eager microflow-cache flush: a cached winner must never
+        # shadow the rule just pushed.  (Direct table writes that
+        # bypass the controller are still fenced lazily by the table's
+        # generation counter.)
+        switch.invalidate_cache(f"install rule {rule.rule_id}")
         self._installed.append(
             InstalledRule(switch_name=switch_name, rule_id=rule.rule_id,
                           pvn_id=pvn_id)
@@ -93,7 +99,10 @@ class Controller:
         """Tear down every rule a PVN installed, across all switches."""
         removed = 0
         for switch in self._switches.values():
-            removed += switch.table.remove_pvn(pvn_id)
+            count = switch.table.remove_pvn(pvn_id)
+            if count:
+                switch.invalidate_cache(f"remove_pvn {pvn_id}")
+            removed += count
         self._installed = [r for r in self._installed if r.pvn_id != pvn_id]
         return removed
 

@@ -1,0 +1,195 @@
+"""Exact-match microflow cache for the SDN fast path (OVS-style).
+
+A :class:`FlowCache` memoizes, per exact packet key (five-tuple +
+``owner`` + ingress), the *winning* :class:`~repro.sdn.flowtable.FlowRule`
+of a priority flow table together with its pre-resolved action closure.
+The first packet of a flow pays the linear table scan and the action
+compilation; every later packet of the same flow is a dict hit plus a
+direct closure call, so per-packet cost no longer grows with the total
+number of installed PVN rules (§4's "can access ISPs afford a virtual
+network per device?" made O(1) instead of O(rules)).
+
+Correctness rests on two fences:
+
+* **Table generation** — :class:`~repro.sdn.flowtable.FlowTable` bumps
+  a monotone ``generation`` counter on every ``install`` / ``remove`` /
+  ``remove_pvn``.  A cache whose entries were filled under an older
+  generation flushes itself before serving anything (lazy), and the
+  controller flushes eagerly on rule pushes, so a cached winner can
+  never shadow a newly installed higher-priority rule nor survive its
+  own removal.
+* **Epoch fence** — migration cutovers advance an epoch token
+  (:meth:`fence`).  A token change flushes everything, so a cached
+  pipeline closure compiled against a superseded deployment is never
+  served after the cutover.
+
+Misses are cached too (negative entries): a flow that punts to the
+controller keeps punting without re-scanning the table.
+
+The cache keeps ``hits`` / ``misses`` / ``invalidations`` /
+``insertions`` / ``evictions`` counters and can publish them through
+the existing :class:`~repro.netsim.trace.Tracer` (category
+``"flowcache"``) so experiments can observe cache behavior.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable
+
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Tracer
+from repro.sdn.flowtable import FlowRule
+
+#: What a cache entry executes: the pre-resolved action closure.
+ActionClosure = Callable[[Packet], None]
+
+#: Default entry bound; far above any experiment's concurrent flow count.
+DEFAULT_CAPACITY = 65536
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One memoized lookup result.
+
+    ``rule`` is ``None`` for a negative entry (table miss); ``closure``
+    is then the punt/drop path.  ``generation`` records the table
+    generation the entry was filled under.
+    """
+
+    rule: FlowRule | None
+    closure: ActionClosure
+    generation: int
+
+
+class FlowCache:
+    """Exact-match memoization in front of a priority flow table."""
+
+    def __init__(
+        self,
+        name: str = "flowcache",
+        capacity: int = DEFAULT_CAPACITY,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.tracer = tracer
+        self.enabled = True
+        self._entries: "collections.OrderedDict[tuple, CacheEntry]" = (
+            collections.OrderedDict()
+        )
+        self._generation = 0          # table generation entries are valid for
+        self._epoch_token: object = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0        # entries dropped by flushes
+        self.flushes = 0              # flush events
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(packet: Packet, ingress: str = "") -> tuple:
+        """The exact-match key: five-tuple + owner + ingress port."""
+        return (*packet.flow_key(), ingress)
+
+    # -- invalidation fences ------------------------------------------------
+
+    def ensure_generation(self, generation: int, now: float = 0.0) -> None:
+        """Flush iff the table moved past the cached generation."""
+        if generation != self._generation:
+            self.flush(f"table generation {self._generation} -> {generation}",
+                       now=now)
+            self._generation = generation
+
+    def fence(self, token: object, now: float = 0.0) -> None:
+        """Adopt an epoch-fence token; a change flushes everything.
+
+        Migration cutovers call this so closures compiled against the
+        superseded deployment can never serve post-cutover traffic.
+        """
+        if token != self._epoch_token:
+            if self._entries:
+                self.flush(f"epoch fence {self._epoch_token!r} -> {token!r}",
+                           now=now)
+            self._epoch_token = token
+
+    def flush(self, reason: str = "", now: float = 0.0) -> int:
+        """Drop every entry; returns how many were invalidated."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += dropped
+        self.flushes += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "flowcache", self.name, event="flush",
+                invalidated=dropped, reason=reason,
+            )
+        return dropped
+
+    # -- the fast path ------------------------------------------------------
+
+    def get(self, packet: Packet, generation: int, ingress: str = "",
+            now: float = 0.0) -> CacheEntry | None:
+        """The memoized entry for ``packet``, or None on a cache miss.
+
+        Checks the table-generation fence first, so a stale cache never
+        answers.
+        """
+        if not self.enabled:
+            return None
+        self.ensure_generation(generation, now=now)
+        entry = self._entries.get(self.key_for(packet, ingress))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        packet: Packet,
+        rule: FlowRule | None,
+        closure: ActionClosure,
+        generation: int,
+        ingress: str = "",
+    ) -> CacheEntry:
+        """Memoize one lookup result (evicting FIFO at capacity)."""
+        entry = CacheEntry(rule=rule, closure=closure, generation=generation)
+        if self.enabled:
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[self.key_for(packet, ingress)] = entry
+            self.insertions += 1
+        return entry
+
+    # -- observability ------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "flushes": self.flushes,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def publish(self, now: float, tracer: Tracer | None = None) -> None:
+        """Emit a counter snapshot (category ``"flowcache"``)."""
+        # Explicit None check: an empty Tracer is falsy (__len__ == 0).
+        sink = tracer if tracer is not None else self.tracer
+        if sink is not None:
+            sink.emit(now, "flowcache", self.name, event="counters",
+                      **self.counters())

@@ -48,6 +48,10 @@ class FlowTable:
         self.name = name
         self._rules: list[FlowRule] = []
         self.misses = 0
+        # Monotone change counter: bumped by every install/remove so
+        # flow caches built over this table can fence their entries
+        # (see repro.sdn.flowcache).
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -76,27 +80,51 @@ class FlowTable:
                     )
         self._rules.append(rule)
         self._rules.sort(key=FlowRule.sort_key)
+        self.generation += 1
 
     def remove(self, rule_id: int) -> bool:
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.rule_id != rule_id]
-        return len(self._rules) < before
+        removed = len(self._rules) < before
+        if removed:
+            self.generation += 1
+        return removed
 
     def remove_pvn(self, pvn_id: str) -> int:
         """Remove every rule installed by a PVN; returns the count."""
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.pvn_id != pvn_id]
-        return before - len(self._rules)
+        removed = before - len(self._rules)
+        if removed:
+            self.generation += 1
+        return removed
 
-    def lookup(self, packet: Packet) -> FlowRule | None:
-        """The winning rule for ``packet``, with stats updated."""
+    def lookup(self, packet: Packet, record: bool = True) -> FlowRule | None:
+        """The winning rule for ``packet``.
+
+        With ``record`` (the default) the winner's match stats — or the
+        table's miss counter — are updated.  Cached datapaths pass
+        ``record=False`` and account through :meth:`record_match` /
+        :meth:`record_miss` instead, so a packet served from the flow
+        cache still counts exactly once (never zero, never twice).
+        """
         for rule in self._rules:
             if rule.match.matches(packet):
-                rule.packets_matched += 1
-                rule.bytes_matched += packet.size
+                if record:
+                    self.record_match(rule, packet)
                 return rule
-        self.misses += 1
+        if record:
+            self.record_miss()
         return None
+
+    def record_match(self, rule: FlowRule, packet: Packet) -> None:
+        """Charge one packet against ``rule``'s match statistics."""
+        rule.packets_matched += 1
+        rule.bytes_matched += packet.size
+
+    def record_miss(self) -> None:
+        """Charge one table miss."""
+        self.misses += 1
 
     def rules_for_pvn(self, pvn_id: str) -> list[FlowRule]:
         return [r for r in self._rules if r.pvn_id == pvn_id]
