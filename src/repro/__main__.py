@@ -3,6 +3,11 @@
 With no arguments, runs every experiment in DESIGN.md §3's index and
 prints each table.  Pass experiment ids (``F1A E3 E9``) to run a
 subset, and ``--seed N`` to change the seed.
+
+``python -m repro obs trace|metrics <ID>`` runs one experiment with
+the observability layer enabled and exports spans (JSONL +
+Chrome-trace/Perfetto) or metrics (Prometheus text + JSONL) — see
+:mod:`repro.obs.cli`.
 """
 
 from __future__ import annotations
@@ -14,6 +19,12 @@ from repro.experiments import ALL_EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the PVN reproduction's experiment suite.",

@@ -18,13 +18,21 @@ from repro.core.auditor.measurements import MeasurementResult
 
 @dataclasses.dataclass(frozen=True)
 class ViolationRecord:
-    """One piece of evidence against a provider."""
+    """One piece of evidence against a provider.
+
+    ``evidence_spans`` (optional) is the observed span path backing
+    the verdict — e.g. the per-hop middlebox spans the datapath
+    synthesized from the audit probes, as ``"name@sim_time"`` strings.
+    It corroborates the cryptographic path proof with the trace the
+    auditor actually saw.
+    """
 
     time: float
     provider: str
     deployment_id: str
     test: str
     detail: str
+    evidence_spans: tuple[str, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +68,7 @@ class EvidenceLedger:
         provider: str,
         deployment_id: str,
         now: float,
+        evidence_spans: tuple[str, ...] = (),
     ) -> ViolationRecord | None:
         """Fold one measurement in; returns the record when violated."""
         self.audits_run += 1
@@ -68,6 +77,7 @@ class EvidenceLedger:
         record = ViolationRecord(
             time=now, provider=provider, deployment_id=deployment_id,
             test=result.test, detail=result.detail,
+            evidence_spans=tuple(evidence_spans),
         )
         self._records.append(record)
         return record

@@ -14,6 +14,7 @@ owner-scoped flow rules -> allocate the PVN subnet -> attest -> ACK.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import itertools
@@ -40,6 +41,8 @@ from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import PhysicalTopology
 from repro.netsim.trace import Tracer
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 from repro.nfv.container import Container, ContainerSpec, ContainerState
 from repro.nfv.hypervisor import NfvHost
 from repro.nfv.middlebox import Middlebox, ProcessingContext, Verdict, VerdictKind
@@ -49,6 +52,23 @@ from repro.sdn.actions import Output, ToChain
 from repro.sdn.controller import Controller
 
 _deployment_numbers = itertools.count(1)
+
+
+def _phase_span(tracer, name: str, now: float):
+    """A span scope over a synchronous deploy phase (no sim advance),
+    or a no-op scope when tracing is off."""
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(name, lambda: now)
+
+
+def _count_deploy(obs, provider: str, outcome: str) -> None:
+    obs.metrics.counter(
+        "repro_deployments",
+        "PVN deployment requests by outcome",
+        ("provider", "outcome"),
+    ).labels(provider=provider, outcome=outcome).inc()
+
 
 ACTION_FORWARD = "forward"
 ACTION_DROP = "drop"
@@ -276,10 +296,65 @@ class PvnDataPath:
             verdict_reasons=result.labels,
         )
 
+    # -- per-packet span synthesis -------------------------------------------
+
+    def _record_packet_spans(self, packet: Packet, now: float,
+                             outcome: DataPathOutcome,
+                             hop_labels: tuple[str, ...]) -> None:
+        """Synthesize the per-hop span tree for one *traced* packet.
+
+        Only packets carrying a :class:`~repro.obs.spans.SpanContext`
+        (injected by the device/session layer when a request is being
+        traced) generate spans, so bulk replay traffic pays nothing.
+        Per-hop sim timings are exact where delays were charged: hop
+        *i* spans ``[prefix_delay_i, prefix_delay_{i+1}]`` within the
+        datapath span, whose total length is the outcome's
+        ``added_delay``.
+        """
+        obs = obs_runtime.current()
+        if obs is None or not obs.trace_spans:
+            return
+        parent = obs_spans.extract(packet.metadata)
+        if parent is None:
+            return
+        tracer = obs.spans
+        end = now + outcome.added_delay
+        root = tracer.record_span(
+            "datapath.process", now, end, parent=parent,
+            deployment_id=self.deployment_id,
+            packet_id=packet.packet_id,
+            action=outcome.action,
+            traffic_class=outcome.traffic_class,
+        )
+        per_hop = self.container_spec.per_packet_delay
+        offset = now
+        for label in hop_labels:
+            service = label.split(":", 1)[0]
+            hop_end = min(end, offset + per_hop)
+            tracer.record_span(
+                f"mbox.{service}", offset, hop_end, parent=root,
+                verdict=label.split(":", 1)[1] if ":" in label else "",
+                deployment_id=self.deployment_id,
+            )
+            offset = hop_end
+
     # -- the per-packet fast path -------------------------------------------
 
     def process(self, packet: Packet, now: float) -> DataPathOutcome:
         """Run one packet through the full PVN pipeline."""
+        outcome = self._process(packet, now)
+        # Span synthesis is outside the fast path proper: untraced
+        # packets exit on the first None check inside.
+        classifier_ran = bool(outcome.traffic_class) and (
+            "classifier" not in self.skip_services)
+        self._record_packet_spans(
+            packet, now, outcome,
+            (("classifier:pass",) if classifier_ran else ())
+            + tuple(outcome.verdict_reasons),
+        )
+        return outcome
+
+    def _process(self, packet: Packet, now: float) -> DataPathOutcome:
         if (self.fencing is not None
                 and not self.fencing.is_current(self.lineage, self.epoch)):
             # A stale-epoch deployment missed a migration cutover; it
@@ -382,12 +457,34 @@ class PvnDataPath:
 
     def publish_counters(self, now: float,
                          tracer: Tracer | None = None) -> None:
-        """Emit datapath throughput counters (category ``"datapath"``)."""
+        """Emit datapath throughput counters (category ``"datapath"``).
+
+        Tracer records are unchanged; with observability enabled the
+        totals also fold into the metrics registry
+        (``repro_datapath_packets_total{deployment=...,result=...}``),
+        and each per-class pipeline publishes its own counters.
+        """
         # Explicit None check: an empty Tracer is falsy (__len__ == 0).
         sink = tracer if tracer is not None else self.tracer
         if sink is not None:
             sink.emit(now, "datapath", self.deployment_id, event="counters",
                       **self.counters())
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.fold_totals(
+                "repro_datapath_packets",
+                "Per-deployment datapath packet totals",
+                ("deployment",), {"deployment": self.deployment_id},
+                self.counters(),
+            )
+            # Registry-only for the per-class pipelines (they carry no
+            # Tracer, so the "datapath" category stays byte-identical
+            # to the pre-registry publish path).
+            pipelines = list(self._pipelines.values())
+            if self._redirect_pipeline is not None:
+                pipelines.append(self._redirect_pipeline)
+            for pipeline in pipelines:
+                pipeline.publish(now)
 
 
 class DeploymentState(enum.Enum):
@@ -495,21 +592,48 @@ class DeploymentManager:
         trusted_execution: bool = False,
     ) -> DeploymentAck | DeploymentNack:
         """Install a PVN; every failure becomes a NACK with a reason."""
+        obs = obs_runtime.current()
+        tracer = obs.spans if obs is not None and obs.trace_spans else None
+        deploy_span = (tracer.start_span("deployment.deploy", now,
+                                         provider=self.provider,
+                                         user=request.pvnc.user)
+                       if tracer is not None else None)
         try:
-            compiled = compile_pvnc(request.pvnc, self.store_services,
-                                    self.container_spec,
-                                    self.store_capabilities)
-            embedding = embed_pvn(
-                compiled, self.topo, self.hosts,
-                device_node=device_node, gateway_node=self.gateway_node,
-            )
+            with _phase_span(tracer, "deployment.compile", now):
+                compiled = compile_pvnc(request.pvnc, self.store_services,
+                                        self.container_spec,
+                                        self.store_capabilities)
+            with _phase_span(tracer, "deployment.embed", now):
+                embedding = embed_pvn(
+                    compiled, self.topo, self.hosts,
+                    device_node=device_node, gateway_node=self.gateway_node,
+                )
+            install_span = (tracer.start_span("deployment.install", now)
+                            if tracer is not None else None)
             deployment = self._install(
                 request, compiled, embedding, env, now,
                 skip_services, trusted_execution,
             )
+            if install_span is not None:
+                # The install span runs until the parallel container
+                # launch completes — its sim duration *is* the paper's
+                # instantiation latency.
+                tracer.end_span(install_span, deployment.ready_at,
+                                deployment_id=deployment.deployment_id)
         except ReproError as exc:
+            if deploy_span is not None:
+                tracer.end_span(deploy_span, now, status=obs_spans.STATUS_ERROR,
+                                error=f"{type(exc).__name__}: {exc}")
+            if obs is not None:
+                _count_deploy(obs, self.provider, "nack")
             return DeploymentNack(reason=f"{type(exc).__name__}: {exc}")
         self.deployments[deployment.deployment_id] = deployment
+        if deploy_span is not None:
+            tracer.end_span(deploy_span, deployment.ready_at,
+                            deployment_id=deployment.deployment_id,
+                            subnet=deployment.subnet)
+        if obs is not None:
+            _count_deploy(obs, self.provider, "ack")
         if self.tracer is not None:
             self.tracer.emit(now, "deployment", self.provider,
                              event="deployed", user=request.pvnc.user,

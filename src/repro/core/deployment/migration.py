@@ -45,6 +45,7 @@ transactional handoff.  This module provides it, in four pieces:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import itertools
@@ -62,6 +63,7 @@ from repro.core.pvnc.compiler import build_middleboxes
 from repro.errors import DeploymentError, MigrationError, ReproError
 from repro.nfv.container import Container, ContainerCheckpoint, ContainerState
 from repro.nfv.sandbox import Capability, Sandbox
+from repro.obs import runtime as obs_runtime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.auditor.violations import EvidenceLedger
@@ -746,18 +748,46 @@ class MigrationCoordinator:
         A commit interrupted by provider silence returns a *pending*
         result — the COMMIT intent is journaled, and the next
         :meth:`recover` pass rolls it forward.
+
+        With observability enabled each phase runs in its own span
+        (``migration.prepare``/``transfer``/``commit``) timed on the
+        transaction's logical clock, and the outcome lands in
+        ``repro_migrations_total{provider=...,outcome=...}``.
         """
+        obs = obs_runtime.current()
+        clock = lambda: txn.clock  # noqa: E731
+
+        def phase_span(name):
+            if obs is None:
+                return contextlib.nullcontext()
+            return obs.span(name, clock, txn_id=txn.txn_id)
+
         try:
-            if not txn.prepare():
-                txn.abort()
-            elif not txn.transfer():
+            with phase_span("migration.prepare"):
+                prepared = txn.prepare()
+            if not prepared:
                 txn.abort()
             else:
-                txn.commit()
+                with phase_span("migration.transfer"):
+                    transferred = txn.transfer()
+                if not transferred:
+                    txn.abort()
+                else:
+                    with phase_span("migration.commit"):
+                        txn.commit()
         except MigrationError:
             pass    # pending: recover() rolls the intent forward
         self._charge_sim(txn)
-        return txn.result()
+        result = txn.result()
+        if obs is not None:
+            outcome = ("committed" if result.committed
+                       else "pending" if result.pending else "aborted")
+            obs.metrics.counter(
+                "repro_migrations",
+                "Migration transaction outcomes",
+                ("provider", "outcome"),
+            ).labels(provider=self.manager.provider, outcome=outcome).inc()
+        return result
 
     def migrate(self, deployment_id: str, new_device_node: str,
                 now: float) -> MigrationResult:

@@ -9,6 +9,7 @@ ledger and provider reputations.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 
 from repro.core.auditor.attestation import AttestationVerifier
@@ -38,6 +39,8 @@ from repro.errors import AttestationError, NegotiationError
 from repro.netproto.dhcp import DhcpClient
 from repro.netsim.packet import Packet
 from repro.netsim.randomness import RandomStreams
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 
 
 @dataclasses.dataclass
@@ -55,6 +58,27 @@ class PvnConnection:
     @property
     def deployment(self) -> Deployment:
         return self.provider.manager.deployment(self.deployment_id)
+
+
+def _null_scope():
+    """A no-op span scope (observability disabled)."""
+    return contextlib.nullcontext()
+
+
+def _span_path_evidence(obs, probe_span) -> tuple[str, ...]:
+    """The observed path under ``probe_span``, as evidence strings.
+
+    Each finished descendant span becomes ``"name@start"`` — the
+    per-hop middlebox spans the datapath synthesized from the probe
+    packets, i.e. the path the provider *actually* executed.  Empty
+    when tracing was off or the probes produced no hop spans.
+    """
+    evidence = []
+    for span in obs.spans.walk(probe_span):
+        if span.span_id == probe_span.span_id:
+            continue
+        evidence.append(f"{span.name}@{span.start:.6f}")
+    return tuple(evidence)
 
 
 class Device:
@@ -108,65 +132,89 @@ class Device:
         if not providers:
             raise NegotiationError("no providers in range")
         now = providers[0].sim.now
-        compiled = compile_pvnc(pvnc)
-        if retry_policy is not None:
-            outcome = negotiate_with_retry(
-                self.discovery,
-                [p.discovery for p in providers],
-                pvnc,
-                compiled.estimate,
-                now=now,
-                policy=retry_policy,
-                rng=self._retry_rng,
-                strategy=strategy,
+        clock = lambda: providers[0].sim.now  # noqa: E731
+        obs = obs_runtime.current()
+        scope = (obs.span("device.establish_pvn", clock,
+                          user=self.user, providers=len(providers))
+                 if obs is not None else _null_scope())
+        with scope:
+            compiled = compile_pvnc(pvnc)
+            with (obs.span("discovery.negotiate", clock, strategy=strategy)
+                  if obs is not None else _null_scope()) as nego_span:
+                if retry_policy is not None:
+                    outcome = negotiate_with_retry(
+                        self.discovery,
+                        [p.discovery for p in providers],
+                        pvnc,
+                        compiled.estimate,
+                        now=now,
+                        policy=retry_policy,
+                        rng=self._retry_rng,
+                        strategy=strategy,
+                    )
+                else:
+                    outcome = negotiate(
+                        self.discovery,
+                        [p.discovery for p in providers],
+                        pvnc,
+                        compiled.estimate,
+                        now=now,
+                        strategy=strategy,
+                    )
+                if nego_span is not None:
+                    nego_span.set(accepted=outcome.accepted,
+                                  provider=outcome.provider)
+            if (not outcome.accepted or outcome.offer is None
+                    or outcome.plan is None):
+                raise NegotiationError(
+                    f"negotiation failed: {outcome.reason}")
+
+            provider = next(
+                p for p in providers if p.name == outcome.provider
             )
-        else:
-            outcome = negotiate(
-                self.discovery,
-                [p.discovery for p in providers],
-                pvnc,
-                compiled.estimate,
-                now=now,
-                strategy=strategy,
+            provider.prepare_deploy(self.env, self.node_name)
+            request = build_request(self.discovery.device_id, outcome.offer,
+                                    pvnc, outcome.plan)
+            # The provider-side deployment.deploy span nests here.
+            response = provider.discovery.handle_deployment_request(
+                request, now=provider.sim.now
             )
-        if not outcome.accepted or outcome.offer is None or outcome.plan is None:
-            raise NegotiationError(f"negotiation failed: {outcome.reason}")
+            if isinstance(response, DeploymentNack):
+                raise NegotiationError(
+                    f"deployment NACKed: {response.reason}")
 
-        provider = next(
-            p for p in providers if p.name == outcome.provider
-        )
-        provider.prepare_deploy(self.env, self.node_name)
-        request = build_request(self.discovery.device_id, outcome.offer,
-                                pvnc, outcome.plan)
-        response = provider.discovery.handle_deployment_request(
-            request, now=provider.sim.now
-        )
-        if isinstance(response, DeploymentNack):
-            raise NegotiationError(f"deployment NACKed: {response.reason}")
+            deployment = provider.manager.deployment(response.deployment_id)
+            with (obs.span("attestation.verify", clock)
+                  if obs is not None else _null_scope()) as att_span:
+                verified = self._verify_attestation(provider, deployment,
+                                                    request)
+                if att_span is not None:
+                    att_span.set(verified=verified)
 
-        deployment = provider.manager.deployment(response.deployment_id)
-        verified = self._verify_attestation(provider, deployment, request)
+            with (obs.span("dhcp.refresh", clock)
+                  if obs is not None else _null_scope()):
+                # Roaming onto a provider we discovered but never
+                # attached to (the §3.3 unavailability fallback) needs
+                # a lease there first.
+                if self.mac not in provider.dhcp.leases:
+                    self.dhcp.run_exchange(provider.dhcp,
+                                           now=provider.sim.now)
+                # §3.1: the ACK triggers a DHCP refresh into the PVN
+                # subnet.
+                lease = provider.dhcp.refresh_into_pvn(
+                    self.mac, response.deployment_id, now=provider.sim.now
+                )
 
-        # Roaming onto a provider we discovered but never attached to
-        # (the §3.3 unavailability fallback) needs a lease there first.
-        if self.mac not in provider.dhcp.leases:
-            self.dhcp.run_exchange(provider.dhcp, now=provider.sim.now)
-
-        # §3.1: the ACK triggers a DHCP refresh into the PVN subnet.
-        lease = provider.dhcp.refresh_into_pvn(
-            self.mac, response.deployment_id, now=provider.sim.now
-        )
-
-        self.connection = PvnConnection(
-            provider=provider,
-            deployment_id=response.deployment_id,
-            services=outcome.plan.services,
-            price_paid=outcome.plan.price,
-            device_ip=lease.ip,
-            negotiation=outcome,
-            attestation_verified=verified,
-        )
-        return self.connection
+            self.connection = PvnConnection(
+                provider=provider,
+                deployment_id=response.deployment_id,
+                services=outcome.plan.services,
+                price_paid=outcome.plan.price,
+                device_ip=lease.ip,
+                negotiation=outcome,
+                attestation_verified=verified,
+            )
+            return self.connection
 
     def _verify_attestation(self, provider, deployment, request) -> bool:
         if provider.platform is not None:
@@ -193,49 +241,81 @@ class Device:
 
         Returns the names of violated tests; evidence lands in the
         ledger and the provider's reputation is updated per test.
+
+        With observability enabled each measurement runs inside a span
+        (``audit.<test>``) and the probe packets carry the audit span's
+        context, so the per-hop middlebox spans the datapath
+        synthesizes parent under the audit — the span tree *is* the
+        observed path, and it is attached to any middlebox-execution
+        violation as evidence alongside the cryptographic path proof.
         """
         if self.connection is None:
             raise NegotiationError("no live PVN connection to audit")
         provider = self.connection.provider
         deployment = self.connection.deployment
         now = provider.sim.now
+        clock = lambda: provider.sim.now  # noqa: E731
+        obs = obs_runtime.current()
         results = []
 
-        results.append(differentiation_test(
-            lambda kind: provider.measure_throughput(kind, self.node_name),
-            trials=trials,
-        ))
-        if provider.content:
-            import hashlib
+        audit_scope = (obs.span("audit.run", clock, user=self.user,
+                                deployment_id=deployment.deployment_id)
+                       if obs is not None else _null_scope())
+        with audit_scope as audit_span:
+            with (obs.span("audit.differentiation", clock)
+                  if obs is not None else _null_scope()):
+                results.append(differentiation_test(
+                    lambda kind: provider.measure_throughput(
+                        kind, self.node_name),
+                    trials=trials,
+                ))
+            if provider.content:
+                import hashlib
 
-            expected = {
-                url: hashlib.sha256(body).digest()
-                for url, body in provider.content.items()
-            }
-            results.append(content_modification_test(
-                provider.fetch_through_network, expected
-            ))
-        results.append(path_inflation_test(
-            lambda: provider.measure_rtt(self.node_name),
-            expected_rtt=deployment.embedding.expected_rtt,
-            trials=trials,
-        ))
-        results.append(middlebox_execution_test(
-            lambda: self._send_probe(deployment),
-            deployment.datapath.keyring,
-            required_waypoints=self._probe_waypoints(deployment),
-            trials=trials,
-        ))
+                expected = {
+                    url: hashlib.sha256(body).digest()
+                    for url, body in provider.content.items()
+                }
+                with (obs.span("audit.content_modification", clock)
+                      if obs is not None else _null_scope()):
+                    results.append(content_modification_test(
+                        provider.fetch_through_network, expected
+                    ))
+            with (obs.span("audit.path_inflation", clock)
+                  if obs is not None else _null_scope()):
+                results.append(path_inflation_test(
+                    lambda: provider.measure_rtt(self.node_name),
+                    expected_rtt=deployment.embedding.expected_rtt,
+                    trials=trials,
+                ))
+            with (obs.span("audit.middlebox_execution", clock)
+                  if obs is not None else _null_scope()) as probe_span:
+                results.append(middlebox_execution_test(
+                    lambda: self._send_probe(deployment, probe_span),
+                    deployment.datapath.keyring,
+                    required_waypoints=self._probe_waypoints(deployment),
+                    trials=trials,
+                ))
 
-        violated = []
-        for result in results:
-            self.ledger.record_result(
-                result, provider.name, deployment.deployment_id, now
-            )
-            self.reputation.observe(provider.name, passed=not result.violated)
-            if result.violated:
-                violated.append(result.test)
-        return violated
+            violated = []
+            for result in results:
+                evidence = ()
+                if (obs is not None and result.violated
+                        and result.test == "middlebox_execution"
+                        and probe_span is not None):
+                    evidence = _span_path_evidence(obs, probe_span)
+                self.ledger.record_result(
+                    result, provider.name, deployment.deployment_id, now,
+                    evidence_spans=evidence,
+                )
+                self.reputation.observe(provider.name,
+                                        passed=not result.violated)
+                if result.violated:
+                    violated.append(result.test)
+            if audit_span is not None:
+                audit_span.set(violations=len(violated),
+                               tests=len(results))
+            return violated
 
     def rank_providers(
         self, quotes: list[tuple[str, float]], price_weight: float = 0.1
@@ -258,11 +338,16 @@ class Device:
             remaining = [q for q in remaining if q[0] != best]
         return ranked
 
-    def _send_probe(self, deployment: Deployment) -> Packet:
+    def _send_probe(self, deployment: Deployment,
+                    span: "obs_spans.Span | None" = None) -> Packet:
         probe = Packet(
             src=self.connection.device_ip if self.connection else "10.0.0.1",
             dst="198.51.100.10", dst_port=80, owner=self.user,
         )
+        if span is not None:
+            # The probe carries the audit span's context, so the
+            # datapath's synthesized per-hop spans parent under it.
+            obs_spans.inject(probe.metadata, span)
         deployment.datapath.process(
             probe, now=deployment.created_at
         )

@@ -29,6 +29,24 @@ from repro.core.discovery.pricing import PricingPolicy
 from repro.core.discovery.retry import RetryPolicy, RetryTrace
 from repro.core.pvnc.model import Pvnc, ResourceEstimate
 from repro.errors import NegotiationError, ProtocolError
+from repro.obs import runtime as obs_runtime
+
+
+def _count_discovery(event: str, provider: str) -> None:
+    """Bump the live discovery counter (no-op with observability off).
+
+    Unlike the data plane's publish-time folding, discovery is a rare
+    control-plane event, so counting at the site is free enough and
+    keeps the metric live mid-negotiation.
+    """
+    obs = obs_runtime.current()
+    if obs is None:
+        return
+    obs.metrics.counter(
+        "repro_discovery_events",
+        "Discovery protocol events per provider",
+        ("provider", "event"),
+    ).labels(provider=provider, event=event).inc()
 
 DeployFn = Callable[[DeploymentRequest], DeploymentAck | DeploymentNack]
 
@@ -92,12 +110,15 @@ class DiscoveryService:
         client's :class:`RetryPolicy` decides what happens next.
         """
         self.dms_received += 1
+        _count_discovery("dm_received", self.provider)
         if self.drop_next_dms > 0:
             self.drop_next_dms -= 1
             self.dms_unanswered += 1
+            _count_discovery("dm_unanswered", self.provider)
             return None
         if not self.responsive(now):
             self.dms_unanswered += 1
+            _count_discovery("dm_unanswered", self.provider)
             return None
         if not self.supports_pvn:
             return None
@@ -117,6 +138,7 @@ class DiscoveryService:
             in_reply_to=dm.sequence,
         )
         self.offers_made += 1
+        _count_discovery("offer_made", self.provider)
         self._live_offers[offer.offer_id] = offer
         return offer
 

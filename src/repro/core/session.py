@@ -13,6 +13,7 @@ True
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 
 from repro.core.device import Device, PvnConnection
@@ -26,6 +27,8 @@ from repro.netproto.dns import Resolver, TrustAnchor, Zone, ZoneSigner
 from repro.netproto.tls import make_web_pki
 from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 
 DEFAULT_PVNC_TEXT = '''
 pvnc "secure-roaming" for {user}
@@ -137,24 +140,45 @@ class PvnSession:
 
         Passing a ``retry_policy`` makes discovery retry unanswered
         floods with capped exponential backoff before giving up.
+
+        With observability enabled the whole request runs inside a
+        ``session.connect`` root span whose children cover DHCP attach,
+        negotiation, deployment, attestation, and the address refresh —
+        the paper's one-device-request trace tree.
         """
         providers = [self.provider, *self.extra_providers]
-        supported = self.device.attach(self.provider)
-        if not supported and not self.extra_providers:
-            return SessionOutcome(
-                deployed=False,
-                reason="access network does not support PVNs; "
-                       "use tunneling fallback (repro.core.tunneling)",
-            )
-        try:
-            connection = self.device.establish_pvn(
-                providers, pvnc, strategy=strategy,
-                retry_policy=retry_policy,
-            )
-        except NegotiationError as exc:
-            return SessionOutcome(deployed=False, reason=str(exc))
-        return SessionOutcome(deployed=True, connection=connection,
-                              reason="deployed")
+        obs = obs_runtime.current()
+        clock = lambda: self.sim.now  # noqa: E731
+        scope = (obs.span("session.connect", clock, user=self.device.user)
+                 if obs is not None else contextlib.nullcontext())
+        with scope as root:
+            with (obs.span("dhcp.attach", clock)
+                  if obs is not None else contextlib.nullcontext()) as att:
+                supported = self.device.attach(self.provider)
+                if att is not None:
+                    att.set(supports_pvn=supported)
+            if not supported and not self.extra_providers:
+                if root is not None:
+                    root.set(deployed=False, reason="no_pvn_support")
+                return SessionOutcome(
+                    deployed=False,
+                    reason="access network does not support PVNs; "
+                           "use tunneling fallback (repro.core.tunneling)",
+                )
+            try:
+                connection = self.device.establish_pvn(
+                    providers, pvnc, strategy=strategy,
+                    retry_policy=retry_policy,
+                )
+            except NegotiationError as exc:
+                if root is not None:
+                    root.set(deployed=False, reason=str(exc))
+                return SessionOutcome(deployed=False, reason=str(exc))
+            if root is not None:
+                root.set(deployed=True,
+                         deployment_id=connection.deployment_id)
+            return SessionOutcome(deployed=True, connection=connection,
+                                  reason="deployed")
 
     # -- robustness --------------------------------------------------------
 
@@ -203,24 +227,51 @@ class PvnSession:
             raise NegotiationError("connect() first")
         if new_device_node not in self.provider.topo.graph:
             self.provider.attach_device(new_device_node, ap=ap, **wireless)
-        result = migrate_device(
-            self.provider.manager,
-            self.device.connection.deployment_id,
-            new_device_node,
-            now=self.sim.now,
-            leases=leases,
-            ledger=self.device.ledger,
-        )
+        obs = obs_runtime.current()
+        clock = lambda: self.sim.now  # noqa: E731
+        scope = (obs.span("session.migrate", clock,
+                          source=self.device.connection.deployment_id,
+                          target_node=new_device_node)
+                 if obs is not None else contextlib.nullcontext())
+        with scope as span:
+            result = migrate_device(
+                self.provider.manager,
+                self.device.connection.deployment_id,
+                new_device_node,
+                now=self.sim.now,
+                leases=leases,
+                ledger=self.device.ledger,
+            )
+            if span is not None:
+                span.set(committed=result.committed,
+                         deployment_id=result.deployment_id)
         if result.committed:
             self.device.connection.deployment_id = result.deployment_id
             self.device.node_name = new_device_node
         return result
 
-    def send(self, packet: Packet):
-        """Run one packet through the device's live PVN data path."""
+    def send(self, packet: Packet, traced: bool = False):
+        """Run one packet through the device's live PVN data path.
+
+        With ``traced=True`` (and observability enabled) the packet
+        carries a span context — parented to the innermost active span
+        if any — so the datapath synthesizes per-hop middlebox spans
+        for it.  Untraced packets cost nothing extra.
+        """
         if self.device.connection is None:
             raise NegotiationError("connect() first")
         deployment = self.device.connection.deployment
+        if traced:
+            obs = obs_runtime.current()
+            if obs is not None and obs.trace_spans:
+                clock = lambda: self.sim.now  # noqa: E731
+                with obs.span("session.send", clock,
+                              packet_id=packet.packet_id) as span:
+                    obs_spans.inject(packet.metadata, span)
+                    outcome = deployment.datapath.process(
+                        packet, now=self.sim.now)
+                    span.set(action=outcome.action)
+                return outcome
         return deployment.datapath.process(packet, now=self.sim.now)
 
     def audit(self, trials: int = 3) -> list[str]:

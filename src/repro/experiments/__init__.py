@@ -22,6 +22,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp14_chaos,
     exp15_migration,
     exp16_datapath,
+    exp17_observability,
     fig1a,
     fig1b,
     fig1c,
@@ -48,10 +49,12 @@ ALL_EXPERIMENTS = {
     "E14": exp14_chaos.run,
     "E15": exp15_migration.run,
     "ABL": ablations.run,
-    # E16 is registered last on purpose: it allocates simulator objects
-    # with global id counters (packets, rules), and running it after the
-    # seed experiments keeps E1-E15 id sequences — and digests — stable.
+    # E16/E17 are registered last on purpose: they allocate simulator
+    # objects with global id counters (packets, rules), and running them
+    # after the seed experiments keeps E1-E15 id sequences — and
+    # digests — stable.
     "E16": exp16_datapath.run,
+    "E17": exp17_observability.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -3,6 +3,15 @@
 A :class:`Tracer` is a lightweight in-memory event log that components
 append structured records to.  Experiments query it for latency
 distributions, per-middlebox verdict counts, and audit evidence.
+
+Queries are indexed: emission keeps a per-category view alongside the
+global log, so ``records(category)`` / ``count(category)`` cost
+O(matching records) instead of scanning every event ever emitted —
+hot loops that poll one category no longer pay for the whole log.
+
+For richer telemetry (causal spans, labelled metrics, exporters) see
+:mod:`repro.obs`; the Tracer remains the flat, in-order event record
+the experiments assert against.
 """
 
 from __future__ import annotations
@@ -11,6 +20,8 @@ import collections
 import dataclasses
 import statistics
 from typing import Any, Iterable
+
+from repro.obs.quantiles import percentile
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,34 +45,49 @@ class Tracer:
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
+        # Per-category index, maintained at emit time.  Each bucket is
+        # in emission order, so category-filtered queries keep the
+        # exact semantics of scanning the global log.
+        self._by_category: dict[str, list[TraceRecord]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
 
     def emit(self, time: float, category: str, subject: str, **fields: Any) -> None:
         """Record one event."""
-        self._records.append(
-            TraceRecord(time, category, subject, tuple(sorted(fields.items())))
-        )
+        record = TraceRecord(time, category, subject,
+                             tuple(sorted(fields.items())))
+        self._records.append(record)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(record)
 
     def records(
         self, category: str | None = None, subject: str | None = None
     ) -> list[TraceRecord]:
         """Records matching the given filters, in emission order."""
-        out = self._records
         if category is not None:
-            out = [r for r in out if r.category == category]
+            out = self._by_category.get(category, [])
+        else:
+            out = self._records
         if subject is not None:
-            out = [r for r in out if r.subject == subject]
+            return [r for r in out if r.subject == subject]
         return list(out)
 
     def count(self, category: str, subject: str | None = None) -> int:
-        return len(self.records(category, subject))
+        if subject is None:
+            return len(self._by_category.get(category, ()))
+        return sum(
+            1 for r in self._by_category.get(category, ())
+            if r.subject == subject
+        )
 
     def values(self, category: str, key: str) -> list[Any]:
         """Extract ``fields[key]`` from every record in ``category``."""
         return [
-            r.get(key) for r in self.records(category) if r.get(key) is not None
+            r.get(key) for r in self._by_category.get(category, ())
+            if r.get(key) is not None
         ]
 
     def counter(self, category: str, key: str) -> collections.Counter:
@@ -78,9 +104,7 @@ class Tracer:
         ``"datapath"``); the latest snapshot is the current counter
         state.
         """
-        for record in reversed(self._records):
-            if record.category != category:
-                continue
+        for record in reversed(self._by_category.get(category, ())):
             if subject is not None and record.subject != subject:
                 continue
             return record
@@ -89,7 +113,14 @@ class Tracer:
 
 @dataclasses.dataclass
 class LatencySummary:
-    """Summary statistics over a latency sample."""
+    """Summary statistics over a latency sample.
+
+    Percentiles use linear interpolation between order statistics
+    (:func:`repro.obs.quantiles.percentile`), so small samples no
+    longer over-report the tail the way the old round-to-nearest-rank
+    p95 did.  ``median`` and ``p50`` are the same number; both are kept
+    so existing callers and percentile-minded ones read naturally.
+    """
 
     count: int
     mean: float
@@ -97,18 +128,22 @@ class LatencySummary:
     p95: float
     minimum: float
     maximum: float
+    p50: float = 0.0
+    p99: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
         data = sorted(samples)
         if not data:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        p95_index = min(len(data) - 1, int(round(0.95 * (len(data) - 1))))
+        p50 = percentile(data, 0.50, presorted=True)
         return cls(
             count=len(data),
             mean=statistics.fmean(data),
-            median=statistics.median(data),
-            p95=data[p95_index],
+            median=p50,
+            p95=percentile(data, 0.95, presorted=True),
             minimum=data[0],
             maximum=data[-1],
+            p50=p50,
+            p99=percentile(data, 0.99, presorted=True),
         )

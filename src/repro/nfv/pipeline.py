@@ -31,11 +31,13 @@ under category ``"pipeline"``.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable
 
 from repro.netsim.packet import Packet
 from repro.netsim.trace import Tracer
 from repro.nfv.middlebox import ProcessingContext, Verdict, VerdictKind
+from repro.obs import runtime as obs_runtime
 
 #: Annotation key a verdict may set to override its step's reason label.
 LABEL_ANNOTATION = "pipeline_label"
@@ -109,6 +111,10 @@ class Pipeline:
         self.packets_dropped = 0
         self.packets_tunneled = 0
         self._pooled_context: ProcessingContext | None = None
+        # Per-middlebox wall-time profiling handles, resolved once per
+        # Observability instance (label lookup off the per-packet path).
+        self._profile_obs: object | None = None
+        self._profile_handles: tuple | None = None
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -154,14 +160,35 @@ class Pipeline:
 
     # -- execution ----------------------------------------------------------
 
+    def _profiling_handles(self):
+        """Per-step wall-time histogram handles, or None when profiling
+        is off.  Resolved once per Observability instance so the
+        per-packet cost is an index plus one ``observe``."""
+        obs = obs_runtime.current()
+        if obs is None or not obs.profile_middleboxes:
+            return None
+        if self._profile_obs is not obs:
+            histogram = obs.metrics.histogram(
+                "repro_middlebox_wall_seconds",
+                "Wall-clock processing time per middlebox hop",
+                ("middlebox",),
+            )
+            self._profile_handles = tuple(
+                histogram.labels(middlebox=step.name or self.pipeline_id)
+                for step in self.steps
+            )
+            self._profile_obs = obs
+        return self._profile_handles
+
     def run(self, packet: Packet, context: ProcessingContext) -> PipelineResult:
         """Run ``packet`` through every step, short-circuiting on the
         first DROP or TUNNEL verdict."""
         self.packets_in += 1
+        handles = self._profiling_handles()
         verdicts: list[Verdict] = []
         labels: list[str] = []
         delay = 0.0
-        for step in self.steps:
+        for index, step in enumerate(self.steps):
             if step.precheck is not None:
                 aborted = step.precheck(packet, context)
                 if aborted is not None:
@@ -170,7 +197,12 @@ class Pipeline:
                     return self._terminate(
                         packet, aborted, verdicts, labels, delay)
             delay += step.delay
-            verdict = step.runner(packet, context)
+            if handles is None:
+                verdict = step.runner(packet, context)
+            else:
+                wall_start = time.perf_counter()
+                verdict = step.runner(packet, context)
+                handles[index].observe(time.perf_counter() - wall_start)
             verdicts.append(verdict)
             labels.append(_label_of(step.name, verdict))
             if verdict.kind in (VerdictKind.DROP, VerdictKind.TUNNEL):
@@ -219,9 +251,27 @@ class Pipeline:
         }
 
     def publish(self, now: float, tracer: Tracer | None = None) -> None:
-        """Emit a throughput-counter snapshot (category ``"pipeline"``)."""
+        """Emit a throughput-counter snapshot (category ``"pipeline"``).
+
+        Tracer records are unchanged; with observability enabled the
+        totals also fold into the metrics registry
+        (``repro_pipeline_packets_total{pipeline=...,result=...}``).
+        """
         # Explicit None check: an empty Tracer is falsy (__len__ == 0).
         sink = tracer if tracer is not None else self.tracer
         if sink is not None:
             sink.emit(now, "pipeline", self.pipeline_id, event="counters",
                       **self.counters())
+        obs = obs_runtime.current()
+        if obs is not None:
+            totals = self.counters()
+            steps = totals.pop("steps")
+            obs.metrics.fold_totals(
+                "repro_pipeline_packets",
+                "Per-pipeline packet outcomes",
+                ("pipeline",), {"pipeline": self.pipeline_id}, totals,
+            )
+            obs.metrics.gauge(
+                "repro_pipeline_steps", "Compiled steps per pipeline",
+                ("pipeline",),
+            ).labels(pipeline=self.pipeline_id).set(steps)

@@ -1,0 +1,82 @@
+"""repro.obs — the cross-cutting observability subsystem.
+
+Four pieces (see DESIGN.md §9):
+
+* :mod:`repro.obs.spans` — causal span tracing with sim-time *and*
+  wall-time clocks, propagated in-process (active-span stack) and on
+  packets (``metadata[SPAN_KEY]``), so one device request is one trace
+  tree from DHCP discovery through per-hop middlebox processing to the
+  audit verdict.
+* :mod:`repro.obs.metrics` — the typed metrics registry: labelled
+  counters, gauges, fixed-bucket histograms, and streaming-quantile
+  summaries the sdn/nfv/core layers publish into.
+* :mod:`repro.obs.export` — JSONL and Chrome-trace (Perfetto) span
+  export, Prometheus text and JSONL metric dumps.
+* :mod:`repro.obs.runtime` — the process-global on/off switch.
+  Disabled (the default) costs one global read + None test at each
+  instrumentation site.
+
+Quickstart::
+
+    from repro import obs
+    handle = obs.enable()
+    ... run a session / experiment ...
+    obs.export.spans_to_chrome_trace(handle.spans.spans)
+
+or from the shell::
+
+    python -m repro obs trace exp16    # Chrome-trace + JSONL spans
+    python -m repro obs metrics exp16  # Prometheus-style dump
+"""
+
+from repro.obs import export, quantiles, runtime
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.quantiles import P2Quantile, percentile, summarize_percentiles
+from repro.obs.runtime import (
+    Observability,
+    current,
+    disable,
+    enable,
+    enabled,
+)
+from repro.obs.spans import (
+    SPAN_KEY,
+    Span,
+    SpanContext,
+    SpanTracer,
+    extract,
+    inject,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "P2Quantile",
+    "PhaseProfiler",
+    "SPAN_KEY",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "Summary",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "extract",
+    "inject",
+    "percentile",
+    "quantiles",
+    "runtime",
+    "summarize_percentiles",
+]

@@ -1,0 +1,171 @@
+"""The audit-facing observability CLI: ``python -m repro obs ...``.
+
+Two subcommands, both of which run one experiment with the
+observability layer fully enabled and export what it saw:
+
+``python -m repro obs trace E16``
+    Runs an instrumented canonical PVN session (connect → traced
+    packets → audit) followed by the experiment, then writes the span
+    set as JSONL plus a Chrome-trace (Perfetto-loadable) JSON file and
+    prints the trace tree.
+
+``python -m repro obs metrics E16``
+    Same run, but exports the metrics registry as a Prometheus-style
+    text dump plus JSONL samples and prints the text exposition.
+
+Experiment ids are normalised (``exp16`` == ``E16``; ``fig1a`` ==
+``F1A``).  Artifacts land under ``--out`` (default
+``obs-artifacts/<ID>/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs import export as obs_export
+from repro.obs import runtime as obs_runtime
+from repro.obs.profile import PhaseProfiler
+
+
+def normalize_experiment_id(raw: str, known) -> str:
+    """Map user spellings onto experiment ids: ``exp16`` -> ``E16``."""
+    candidate = raw.strip().upper()
+    if candidate in known:
+        return candidate
+    if candidate.startswith("EXP"):
+        alias = "E" + candidate[3:]
+        if alias in known:
+            return alias
+    if candidate.startswith("FIG"):
+        alias = "F" + candidate[3:]
+        if alias in known:
+            return alias
+    raise SystemExit(
+        f"unknown experiment id {raw!r}; known: {', '.join(sorted(known))}"
+    )
+
+
+def _session_preamble(seed: int, profiler: PhaseProfiler) -> None:
+    """One canonical instrumented PVN request.
+
+    Guarantees the exported trace contains the paper's full causal
+    tree — DHCP attach → discovery → negotiation → deployment
+    (compile/embed/install) → attestation → traced per-hop middlebox
+    processing → audit verdict — regardless of which experiment runs
+    afterwards.
+    """
+    from repro.core.session import PvnSession, default_pvnc
+    from repro.netsim.packet import Packet
+
+    with profiler.phase("session"):
+        session = PvnSession.build(seed=seed)
+        outcome = session.connect(default_pvnc())
+        if not outcome.deployed:
+            return
+        flows = (
+            ("198.51.100.7", 443),   # https -> tls_validator
+            ("198.51.100.8", 80),    # web_text -> pii_detector
+            ("198.51.100.9", 53),    # dns -> dns_validator
+        )
+        for dst, port in flows:
+            packet = Packet(src="10.0.0.1", dst=dst, dst_port=port,
+                            owner=session.device.user)
+            session.send(packet, traced=True)
+        session.audit(trials=1)
+        deployment = session.device.connection.deployment
+        deployment.datapath.publish_counters(session.sim.now)
+        session.teardown()
+
+
+def _run_experiment(experiment_id: str, seed: int,
+                    profiler: PhaseProfiler):
+    from repro.experiments import ALL_EXPERIMENTS
+
+    with profiler.phase(f"experiment:{experiment_id}"):
+        return ALL_EXPERIMENTS[experiment_id](seed=seed)
+
+
+def _render_tree(out=sys.stdout) -> None:
+    tracer = obs_runtime.current().spans
+    for root in tracer.roots():
+        for span, depth in _walk_depth(tracer, root, 0):
+            duration = (f"{span.duration * 1e3:.3f}ms"
+                        if span.end is not None else "open")
+            print(f"{'  ' * depth}{span.name}  [{duration}] "
+                  f"{span.attributes or ''}", file=out)
+
+
+def _walk_depth(tracer, span, depth):
+    yield span, depth
+    for child in tracer.children_of(span):
+        yield from _walk_depth(tracer, child, depth + 1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Export traces and metrics from an instrumented run.",
+    )
+    parser.add_argument("command", choices=("trace", "metrics"),
+                        help="what to export")
+    parser.add_argument("experiment", metavar="ID",
+                        help="experiment id (e.g. E16, exp16, fig1a)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    parser.add_argument("--out", default="",
+                        help="artifact directory "
+                             "(default obs-artifacts/<ID>)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="write artifacts only; no stdout dump")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import ALL_EXPERIMENTS
+
+    experiment_id = normalize_experiment_id(args.experiment,
+                                            ALL_EXPERIMENTS)
+    out_dir = pathlib.Path(args.out or f"obs-artifacts/{experiment_id}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    with obs_runtime.enabled():
+        obs = obs_runtime.current()
+        profiler = PhaseProfiler()
+        _session_preamble(args.seed, profiler)
+        result = _run_experiment(experiment_id, args.seed, profiler)
+        spans = obs.spans.finished()
+
+        written = []
+        if args.command == "trace":
+            jsonl_path = out_dir / "spans.jsonl"
+            with jsonl_path.open("w") as fh:
+                obs_export.spans_to_jsonl(spans, fh)
+            chrome_path = out_dir / "trace.chrome.json"
+            with chrome_path.open("w") as fh:
+                json.dump(obs_export.spans_to_chrome_trace(spans), fh)
+            written = [jsonl_path, chrome_path]
+            if not args.quiet:
+                _render_tree()
+        else:
+            prom_path = out_dir / "metrics.prom"
+            with prom_path.open("w") as fh:
+                obs_export.metrics_to_prometheus(obs.metrics, fh)
+            mjsonl_path = out_dir / "metrics.jsonl"
+            with mjsonl_path.open("w") as fh:
+                obs_export.metrics_to_jsonl(obs.metrics, fh)
+            written = [prom_path, mjsonl_path]
+            if not args.quiet:
+                obs_export.metrics_to_prometheus(obs.metrics, sys.stdout)
+
+        if not args.quiet:
+            print()
+            print(f"[{experiment_id}] {result.title}")
+            print(profiler.render())
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ from typing import Callable
 
 from repro.netsim.packet import Packet
 from repro.netsim.trace import Tracer
+from repro.obs import runtime as obs_runtime
 from repro.sdn.flowtable import FlowRule
 
 #: What a cache entry executes: the pre-resolved action closure.
@@ -187,9 +188,28 @@ class FlowCache:
         return self.hits / total if total else 0.0
 
     def publish(self, now: float, tracer: Tracer | None = None) -> None:
-        """Emit a counter snapshot (category ``"flowcache"``)."""
+        """Emit a counter snapshot (category ``"flowcache"``).
+
+        Tracer records are byte-identical to the datapath refactor's;
+        with observability enabled the totals also fold into the
+        metrics registry (``repro_flowcache_events_total`` counters
+        plus a ``repro_flowcache_entries`` gauge).
+        """
         # Explicit None check: an empty Tracer is falsy (__len__ == 0).
         sink = tracer if tracer is not None else self.tracer
         if sink is not None:
             sink.emit(now, "flowcache", self.name, event="counters",
                       **self.counters())
+        obs = obs_runtime.current()
+        if obs is not None:
+            totals = self.counters()
+            entries = totals.pop("entries")
+            obs.metrics.fold_totals(
+                "repro_flowcache_events",
+                "Microflow-cache hit/miss/invalidation totals",
+                ("cache",), {"cache": self.name}, totals, extra_label="event",
+            )
+            obs.metrics.gauge(
+                "repro_flowcache_entries",
+                "Live microflow-cache entries", ("cache",),
+            ).labels(cache=self.name).set(entries)

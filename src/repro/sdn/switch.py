@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
 from repro.netsim.node import Node
+from repro.obs import runtime as obs_runtime
 from repro.netsim.packet import Packet
 from repro.sdn.actions import Drop, Mirror, Output, SetField, ToChain, Tunnel
 from repro.sdn.flowcache import FlowCache
@@ -298,10 +299,26 @@ class SdnSwitch(Node):
 
     def publish_counters(self, now: float,
                          tracer: "Tracer | None" = None) -> None:
-        """Emit switch throughput and flow-cache counter snapshots."""
+        """Emit switch throughput and flow-cache counter snapshots.
+
+        Tracer records (category ``"switch"``) are unchanged from the
+        datapath refactor; when observability is enabled the same
+        totals also fold into the metrics registry
+        (``repro_switch_packets_total{switch=...,result=...}``) so the
+        Prometheus dump and the conservation property tests read one
+        typed interface instead of snapshot dicts.
+        """
         # Explicit None check: an empty Tracer is falsy (__len__ == 0).
         sink = tracer if tracer is not None else self.tracer
         if sink is not None:
             sink.emit(now, "switch", self.name, event="counters",
                       **self.counters())
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.metrics.fold_totals(
+                "repro_switch_packets",
+                "Per-switch packet outcomes (conservation: received == "
+                "forwarded + dropped + punted + consumed)",
+                ("switch",), {"switch": self.name}, self.counters(),
+            )
         self.flow_cache.publish(now, tracer=sink)

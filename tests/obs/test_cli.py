@@ -1,0 +1,81 @@
+"""The ``python -m repro obs`` CLI: exports + id normalisation."""
+
+import json
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import runtime as obs_runtime
+from repro.obs.cli import main as obs_main, normalize_experiment_id
+
+
+class TestIdNormalisation:
+    def test_canonical_passthrough(self):
+        assert normalize_experiment_id("E16", ALL_EXPERIMENTS) == "E16"
+
+    def test_exp_prefix_and_case(self):
+        assert normalize_experiment_id("exp16", ALL_EXPERIMENTS) == "E16"
+        assert normalize_experiment_id("Exp9", ALL_EXPERIMENTS) == "E9"
+
+    def test_fig_prefix(self):
+        assert normalize_experiment_id("fig1a", ALL_EXPERIMENTS) == "F1A"
+
+    def test_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            normalize_experiment_id("exp999", ALL_EXPERIMENTS)
+
+
+class TestTraceExport:
+    @pytest.fixture(scope="class")
+    def trace_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace")
+        code = obs_main(["trace", "exp10", "--out", str(out), "--quiet"])
+        assert code == 0
+        return out
+
+    def test_artifacts_written(self, trace_dir):
+        assert (trace_dir / "spans.jsonl").exists()
+        assert (trace_dir / "trace.chrome.json").exists()
+
+    def test_chrome_trace_has_full_causal_chain(self, trace_dir):
+        doc = json.loads((trace_dir / "trace.chrome.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        for expected in ("session.connect", "discovery.negotiate",
+                         "deployment.deploy", "deployment.install",
+                         "audit.run", "datapath.process"):
+            assert expected in names, sorted(names)
+        assert any(n.startswith("mbox.") for n in names)
+
+    def test_spans_nest_by_parent_links(self, trace_dir):
+        rows = [json.loads(line) for line in
+                (trace_dir / "spans.jsonl").read_text().splitlines()]
+        by_id = {r["span_id"]: r for r in rows}
+        hop = next(r for r in rows if r["name"].startswith("mbox."))
+        process = by_id[hop["parent_id"]]
+        assert process["name"] == "datapath.process"
+        assert process["trace_id"] == hop["trace_id"]
+
+    def test_obs_state_restored_after_run(self, trace_dir):
+        assert obs_runtime.current() is None
+
+
+class TestMetricsExport:
+    @pytest.fixture(scope="class")
+    def metrics_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("metrics")
+        code = obs_main(["metrics", "E10", "--out", str(out), "--quiet"])
+        assert code == 0
+        return out
+
+    def test_prometheus_dump(self, metrics_dir):
+        text = (metrics_dir / "metrics.prom").read_text()
+        assert "# TYPE repro_datapath_packets counter" in text
+        assert "# TYPE repro_discovery_events counter" in text
+        assert 'repro_deployments_total{provider="isp-a",outcome="ack"} 1' \
+            in text
+
+    def test_metrics_jsonl_parses(self, metrics_dir):
+        rows = [json.loads(line) for line in
+                (metrics_dir / "metrics.jsonl").read_text().splitlines()]
+        assert any(r["name"] == "repro_datapath_packets_total"
+                   for r in rows)

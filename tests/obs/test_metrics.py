@@ -1,0 +1,129 @@
+"""Metrics registry: families, labels, folding, collection."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, Sample
+
+
+class TestRegistration:
+    def test_idempotent_reregistration(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", "help", ("x",))
+        b = registry.counter("c", "different help ignored", ("x",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_label_schema_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("m", labelnames=("b",))
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_negative_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", labelnames=("who",))
+        child = counter.labels(who="a")
+        child.inc()
+        child.inc(2.0)
+        assert registry.value("hits", who="a") == 3.0
+        with pytest.raises(ValueError):
+            child.inc(-1.0)
+
+    def test_set_total_adopts_external_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pkts")
+        counter.set_total(41)
+        counter.set_total(42)
+        assert counter.value == 42.0
+
+    def test_label_handles_are_cached(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labelnames=("k",))
+        assert counter.labels(k="v") is counter.labels(k="v")
+
+    def test_wrong_labelset_raises(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labelnames=("k",))
+        with pytest.raises(ValueError):
+            counter.labels(other="v")
+
+    def test_gauge_up_and_down(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+
+class TestFoldTotals:
+    def test_counters_dict_becomes_labelled_children(self):
+        registry = MetricsRegistry()
+        registry.fold_totals(
+            "repro_switch_packets", "h", ("switch",),
+            {"switch": "s1"},
+            {"received": 10, "forwarded": 7, "dropped": 3},
+        )
+        assert registry.value("repro_switch_packets",
+                              switch="s1", result="received") == 10.0
+        assert registry.value("repro_switch_packets",
+                              switch="s1", result="dropped") == 3.0
+
+    def test_refold_overwrites(self):
+        registry = MetricsRegistry()
+        for total in (5, 9):
+            registry.fold_totals("m", "h", ("s",), {"s": "x"},
+                                 {"received": total})
+        assert registry.value("m", s="x", result="received") == 9.0
+
+
+class TestCollect:
+    def test_counter_sample_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", labelnames=("p",)).labels(p="a").inc()
+        samples = registry.collect()
+        assert samples == [Sample("reqs_total", (("p", "a"),), 1.0)]
+
+    def test_histogram_exposition_rows(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        rows = {(s.name, s.labels): s.value for s in registry.collect()}
+        assert rows[("lat_bucket", (("le", "0.1"),))] == 1.0
+        assert rows[("lat_bucket", (("le", "1"),))] == 2.0
+        assert rows[("lat_bucket", (("le", "+Inf"),))] == 3.0
+        assert rows[("lat_count", ())] == 3.0
+        assert rows[("lat_sum", ())] == pytest.approx(5.55)
+
+    def test_summary_exposition_rows(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("dur", quantiles=(0.5,))
+        for v in (1.0, 2.0, 3.0):
+            summary.observe(v)
+        rows = {(s.name, s.labels): s.value for s in registry.collect()}
+        assert rows[("dur", (("quantile", "0.5"),))] == 2.0
+        assert rows[("dur_count", ())] == 3.0
+
+    def test_deterministic_ordering(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b").inc()
+            registry.gauge("a", labelnames=("z",)).labels(z="2").set(1)
+            registry.gauge("a", labelnames=("z",)).labels(z="1").set(2)
+            return registry.collect()
+
+        assert build() == build()
+        names = [s.name for s in build()]
+        assert names == sorted(names, key=lambda n: n.rstrip("_total"))
+
+    def test_value_of_unknown_metric_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0

@@ -1,0 +1,98 @@
+"""Percentile helpers: linear interpolation + P² streaming quantiles."""
+
+import random
+
+import pytest
+
+from repro.netsim.trace import LatencySummary
+from repro.obs.quantiles import P2Quantile, percentile, summarize_percentiles
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_of_even_count_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.5
+
+    def test_exact_rank_hits_sample(self):
+        data = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(data, 0.25) == 20.0
+        assert percentile(data, 1.0) == 50.0
+        assert percentile(data, 0.0) == 10.0
+
+    def test_interpolation_between_ranks(self):
+        # rank = 0.95 * (2 - 1) = 0.95 -> 1 + 0.95 * (2 - 1)
+        assert percentile([1.0, 2.0], 0.95) == pytest.approx(1.95)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_presorted_skips_sort(self):
+        data = sorted(random.Random(7).random() for _ in range(100))
+        assert percentile(data, 0.9, presorted=True) == percentile(data, 0.9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_matches_numpy_linear_method(self):
+        np = pytest.importorskip("numpy")
+        rng = random.Random(13)
+        data = [rng.gauss(10.0, 3.0) for _ in range(257)]
+        for q in (0.5, 0.95, 0.99):
+            assert percentile(data, q) == pytest.approx(
+                float(np.percentile(data, 100 * q)), rel=1e-12
+            )
+
+    def test_summarize_returns_standard_quantiles(self):
+        out = summarize_percentiles([float(i) for i in range(1, 101)])
+        assert set(out) == {0.50, 0.95, 0.99}
+        assert out[0.50] < out[0.95] < out[0.99]
+
+
+class TestP2Quantile:
+    def test_small_sample_is_exact(self):
+        est = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            est.observe(v)
+        assert est.value == 2.0
+
+    def test_converges_on_uniform_stream(self):
+        rng = random.Random(42)
+        est = P2Quantile(0.95)
+        samples = [rng.random() for _ in range(20000)]
+        for v in samples:
+            est.observe(v)
+        assert est.value == pytest.approx(0.95, abs=0.02)
+
+    def test_converges_on_gaussian_stream(self):
+        rng = random.Random(1)
+        est = P2Quantile(0.5)
+        for _ in range(20000):
+            est.observe(rng.gauss(100.0, 15.0))
+        assert est.value == pytest.approx(100.0, abs=1.5)
+
+    def test_empty_value_is_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+
+class TestLatencySummaryUsesInterpolation:
+    def test_p50_p95_p99_fields(self):
+        data = [float(i) for i in range(1, 101)]     # 1..100
+        summary = LatencySummary.from_samples(data)
+        assert summary.p50 == summary.median
+        assert summary.p50 == pytest.approx(50.5)
+        # linear interpolation at rank 0.95*(100-1)=94.05 -> 95.05
+        assert summary.p95 == pytest.approx(95.05)
+        assert summary.p99 == pytest.approx(99.01)
+        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.p99
+        assert summary.p99 <= summary.maximum
+
+    def test_single_sample_summary(self):
+        summary = LatencySummary.from_samples([4.2])
+        assert summary.p50 == summary.p95 == summary.p99 == 4.2

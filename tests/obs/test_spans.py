@@ -1,0 +1,115 @@
+"""Span tracer semantics: parenting, propagation, synthesis."""
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_KEY,
+    STATUS_ERROR,
+    STATUS_OK,
+    SpanContext,
+    SpanTracer,
+    extract,
+    inject,
+)
+
+
+class TestLifecycle:
+    def test_root_span_gets_fresh_trace(self):
+        tracer = SpanTracer()
+        a = tracer.start_span("a", now=1.0)
+        tracer.end_span(a, now=2.0)
+        b = tracer.start_span("b", now=3.0)
+        assert a.trace_id != b.trace_id
+        assert a.parent_id == "" and b.parent_id == ""
+        assert a.duration == 1.0
+
+    def test_nested_spans_share_trace(self):
+        tracer = SpanTracer()
+        parent = tracer.start_span("parent", now=0.0)
+        child = tracer.start_span("child", now=0.5)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        tracer.end_span(child, now=1.0)
+        tracer.end_span(parent, now=2.0)
+        assert tracer.current is None
+
+    def test_deterministic_ids(self):
+        ids = [SpanTracer().start_span("x", now=0.0).span_id
+               for _ in range(2)]
+        assert ids[0] == ids[1] == "s1"
+
+    def test_context_manager_times_and_closes(self):
+        tracer = SpanTracer()
+        clock = iter([1.0, 4.0])
+        with tracer.span("op", lambda: next(clock), key="v") as span:
+            assert tracer.current is span
+        assert span.start == 1.0 and span.end == 4.0
+        assert span.status == STATUS_OK
+        assert span.attributes == {"key": "v"}
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", lambda: 0.0) as span:
+                raise RuntimeError("nope")
+        assert span.status == STATUS_ERROR
+        assert "nope" in span.attributes["error"]
+        assert tracer.current is None
+
+    def test_end_unwinds_stack_past_open_children(self):
+        tracer = SpanTracer()
+        outer = tracer.start_span("outer", now=0.0)
+        tracer.start_span("inner", now=0.0)    # left open
+        tracer.end_span(outer, now=1.0)
+        assert tracer.current is None
+
+
+class TestPropagation:
+    def test_inject_extract_roundtrip(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("carrier", now=0.0)
+        metadata = {}
+        inject(metadata, span)
+        context = extract(metadata)
+        assert context == span.context
+        assert metadata[SPAN_KEY] is context or isinstance(context,
+                                                          SpanContext)
+
+    def test_extract_missing_or_garbage_is_none(self):
+        assert extract({}) is None
+        assert extract({SPAN_KEY: "not-a-context"}) is None
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = SpanTracer()
+        active = tracer.start_span("active", now=0.0)
+        remote = SpanContext(trace_id="t99", span_id="s99")
+        child = tracer.start_span("child", now=0.0, parent=remote)
+        assert child.trace_id == "t99" and child.parent_id == "s99"
+        assert active.trace_id != "t99"
+
+
+class TestSynthesis:
+    def test_record_span_is_detached_and_finished(self):
+        tracer = SpanTracer()
+        parent = tracer.start_span("parent", now=0.0)
+        hop = tracer.record_span("mbox.x", start=0.1, end=0.2,
+                                 parent=parent.context, verdict="pass")
+        assert hop.end == 0.2 and hop.duration == pytest.approx(0.1)
+        assert hop.parent_id == parent.span_id
+        assert tracer.current is parent      # stack untouched
+        assert hop in tracer.finished()
+
+    def test_tree_and_walk(self):
+        tracer = SpanTracer()
+        root = tracer.start_span("root", now=0.0)
+        a = tracer.record_span("a", 0.0, 1.0, parent=root)
+        tracer.record_span("a.1", 0.0, 0.5, parent=a)
+        tracer.record_span("b", 1.0, 2.0, parent=root)
+        tracer.end_span(root, now=2.0)
+
+        names = [s.name for s in tracer.walk(root)]
+        assert names == ["root", "a", "a.1", "b"]
+        tree = tracer.tree(root)
+        assert [c["name"] for c in tree["children"]] == ["a", "b"]
+        assert tree["children"][0]["children"][0]["name"] == "a.1"
+        assert tracer.roots() == [root]

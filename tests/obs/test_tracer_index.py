@@ -1,0 +1,64 @@
+"""The Tracer's per-category index (ISSUE 4 satellite).
+
+``records(category=...)``/``count(category)`` used to scan every
+record; they now serve from a per-category index.  These tests pin the
+semantics the index must preserve: emission order within a category,
+subject filters, and agreement with the unfiltered view.
+"""
+
+from repro.netsim.trace import Tracer
+
+
+def _tracer_with_records():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.emit(float(i), "switch", "s1", event="counters", seq=i)
+        tracer.emit(float(i), "flowcache", "c1", event="counters", seq=i)
+    tracer.emit(9.0, "switch", "s2", event="flush")
+    return tracer
+
+
+class TestCategoryIndex:
+    def test_records_filtered_matches_full_scan(self):
+        tracer = _tracer_with_records()
+        indexed = tracer.records(category="switch")
+        scanned = [r for r in tracer.records() if r.category == "switch"]
+        assert indexed == scanned
+
+    def test_emission_order_preserved_per_category(self):
+        tracer = _tracer_with_records()
+        seqs = [r.get("seq") for r in tracer.records("flowcache")]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_count_by_category(self):
+        tracer = _tracer_with_records()
+        assert tracer.count("switch") == 6
+        assert tracer.count("flowcache") == 5
+        assert len(tracer) == 11
+        assert tracer.count("nope") == 0
+
+    def test_count_with_subject_filter(self):
+        tracer = _tracer_with_records()
+        assert tracer.count("switch", subject="s1") == 5
+        assert tracer.count("switch", subject="s2") == 1
+
+    def test_records_with_subject_filter(self):
+        tracer = _tracer_with_records()
+        assert [r.subject for r in tracer.records("switch", "s2")] == ["s2"]
+
+    def test_values_and_latest_use_index(self):
+        tracer = _tracer_with_records()
+        assert tracer.latest("switch", "s1").get("seq") == 4
+        assert tracer.values("switch", "seq") == [0, 1, 2, 3, 4]
+        assert tracer.latest("missing") is None
+
+    def test_unknown_category_is_empty(self):
+        tracer = _tracer_with_records()
+        assert tracer.records(category="missing") == []
+
+    def test_index_tracks_post_query_emissions(self):
+        tracer = _tracer_with_records()
+        assert tracer.count("switch") == 6
+        tracer.emit(10.0, "switch", "s1", event="counters", seq=99)
+        assert tracer.count("switch") == 7
+        assert tracer.records("switch")[-1].get("seq") == 99
