@@ -33,6 +33,47 @@ def test_bench_micro_event_loop(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_bench_micro_event_loop_with_cancellations(benchmark):
+    """10k fired + 25k retracted events (retry timers that never fire):
+    tombstone compaction keeps the heap bounded instead of letting
+    cancelled entries accumulate."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i) * 1e-6, lambda: None)
+        doomed = [sim.schedule(1.0 + float(i) * 1e-6, lambda: None)
+                  for i in range(25_000)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.processed_events == 10_000
+    assert sim.compactions >= 1
+    assert sim.pending_events == 0
+    assert sim.cancelled_pending == 0
+
+
+def test_netsim_hot_structures_are_slotted():
+    """The per-event allocation guard: Event and Packet carry no
+    per-instance ``__dict__`` (reduced allocation, fixed layout)."""
+    import pytest
+
+    from repro.netsim.events import Event
+
+    event = Event(time=0.0, priority=1, sequence=0, callback=lambda: None)
+    packet = Packet(src="10.0.0.1", dst="8.8.8.8")
+    for hot in (event, packet):
+        assert not hasattr(hot, "__dict__"), type(hot).__name__
+        with pytest.raises(AttributeError):
+            hot.not_a_field = 1
+    # Slotting must not have broken heap ordering or copy helpers.
+    assert Event(0.0, 0, 0, lambda: None) < Event(0.0, 1, 1, lambda: None)
+    assert packet.copy().five_tuple() == packet.five_tuple()
+
+
 def test_bench_micro_flowtable_lookup(benchmark):
     """Lookup against a 500-rule table (worst case: match at the end)."""
     table = FlowTable()

@@ -8,6 +8,10 @@ subset, and ``--seed N`` to change the seed.
 the observability layer enabled and exports spans (JSONL +
 Chrome-trace/Perfetto) or metrics (Prometheus text + JSONL) — see
 :mod:`repro.obs.cli`.
+
+``python -m repro run <ID> --shards N`` runs a shardable experiment's
+device population across N worker processes and merges the results
+deterministically — see :mod:`repro.experiments.runner`.
 """
 
 from __future__ import annotations
@@ -25,6 +29,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "run":
+        from repro.experiments.runner import main as run_main
+
+        return run_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the PVN reproduction's experiment suite.",

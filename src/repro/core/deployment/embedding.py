@@ -5,6 +5,15 @@ hosts (or reusable physical middleboxes) for every chain element via
 :func:`repro.nfv.placement.place_chain`, checks aggregate admission,
 and reports the latency stretch the embedding implies — the number the
 auditor's path-inflation test later compares against.
+
+At scale the placement search dominates attach cost, so embeddings are
+memoized through an :class:`EmbeddingIndex`: a cached plan is reused
+only while a snapshot of everything :func:`place_chain` reads — the
+topology version and the exact per-requirement feasible host sets —
+still matches, which makes a hit *provably* identical to a from-scratch
+recompute.  Host feasibility itself is O(1) per host thanks to the
+incremental residual-capacity counters on
+:class:`~repro.nfv.hypervisor.NfvHost`.
 """
 
 from __future__ import annotations
@@ -15,7 +24,12 @@ from repro.core.pvnc.compiler import CompiledPvnc
 from repro.errors import AdmissionError, EmbeddingError
 from repro.netsim.topology import PhysicalTopology
 from repro.nfv.hypervisor import NfvHost
-from repro.nfv.placement import PlacementPlan, place_chain
+from repro.nfv.placement import (
+    PlacementPlan,
+    PlacementRequest,
+    _host_capacity_ok,
+    place_chain,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,6 +46,79 @@ class EmbeddingResult:
         return self.plan.stretch
 
 
+class EmbeddingIndex:
+    """Memoized placements, validated against a feasibility snapshot.
+
+    :func:`place_chain` is a pure function of (a) the topology — node
+    set, links, link up/down state — and (b) which hosts can fit each
+    distinct resource requirement (its candidate list is the *sorted*
+    NFV nodes filtered by feasibility, so the feasible **set** fully
+    determines it).  A memo entry therefore stores the plan together
+    with a snapshot of ``topo.version`` and one
+    ``frozenset``-of-feasible-hosts per distinct ``(memory, cpu)``
+    requirement; a lookup replays the snapshot check and falls back to
+    a full recompute on any difference.  Equivalence with the uncached
+    path is exact, not heuristic — the hypothesis property in
+    ``tests/core/test_incremental_embedding.py`` drives arbitrary
+    attach/detach/migrate/link-flap sequences against both.
+    """
+
+    def __init__(self, topo: PhysicalTopology,
+                 hosts: dict[str, NfvHost]) -> None:
+        self.topo = topo
+        self.hosts = hosts
+        self.hits = 0
+        self.misses = 0
+        self._memo: dict[tuple, tuple[tuple, PlacementPlan]] = {}
+
+    def _feasible(self, memory_bytes: int, cpu_share: float) -> frozenset[str]:
+        probe = PlacementRequest(
+            service="_probe", memory_bytes=memory_bytes, cpu_share=cpu_share
+        )
+        return frozenset(
+            node for node in self.topo.nodes_of_kind("nfv")
+            if node in self.hosts
+            and _host_capacity_ok(self.hosts, node, probe)
+        )
+
+    def _snapshot(self, requests: tuple[PlacementRequest, ...]) -> tuple:
+        requirements = sorted(
+            {(r.memory_bytes, r.cpu_share) for r in requests}
+        )
+        return (
+            self.topo.version,
+            tuple(self._feasible(memory, cpu) for memory, cpu in requirements),
+        )
+
+    def place(
+        self,
+        requests: tuple[PlacementRequest, ...],
+        src: str,
+        dst: str,
+        prefer_reuse: bool,
+    ) -> PlacementPlan:
+        key = (src, dst, prefer_reuse, requests)
+        snapshot = self._snapshot(requests)
+        entry = self._memo.get(key)
+        if entry is not None and entry[0] == snapshot:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        plan = place_chain(
+            self.topo, list(requests), src=src, dst=dst,
+            hosts=self.hosts, prefer_reuse=prefer_reuse,
+        )
+        self._memo[key] = (snapshot, plan)
+        return plan
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memo),
+        }
+
+
 def embed_pvn(
     compiled: CompiledPvnc,
     topo: PhysicalTopology,
@@ -40,21 +127,33 @@ def embed_pvn(
     gateway_node: str = "gw",
     prefer_reuse: bool = True,
     max_stretch: float = 4.0,
+    index: EmbeddingIndex | None = None,
 ) -> EmbeddingResult:
     """Embed ``compiled`` or raise.
+
+    With ``index``, the placement search is memoized (see
+    :class:`EmbeddingIndex`); results are identical either way.
 
     Raises :class:`EmbeddingError` when no placement exists and
     :class:`AdmissionError` when a placement exists but its stretch
     exceeds ``max_stretch`` (the provider refuses service that bad).
     """
-    plan = place_chain(
-        topo,
-        list(compiled.placement_requests),
-        src=device_node,
-        dst=gateway_node,
-        hosts=hosts,
-        prefer_reuse=prefer_reuse,
-    )
+    if index is not None:
+        plan = index.place(
+            compiled.placement_requests,
+            src=device_node,
+            dst=gateway_node,
+            prefer_reuse=prefer_reuse,
+        )
+    else:
+        plan = place_chain(
+            topo,
+            list(compiled.placement_requests),
+            src=device_node,
+            dst=gateway_node,
+            hosts=hosts,
+            prefer_reuse=prefer_reuse,
+        )
     if plan.stretch > max_stretch:
         raise AdmissionError(
             f"embedding stretch x{plan.stretch:.2f} exceeds the "

@@ -22,13 +22,19 @@ from typing import Callable
 
 from repro.core.auditor.attestation import Attestation, TrustedPlatform
 from repro.core.auditor.path_proof import ProofKeyring, make_keyring, stamp
-from repro.core.deployment.embedding import EmbeddingResult, embed_pvn
+from repro.core.deployment.embedding import (
+    EmbeddingIndex,
+    EmbeddingResult,
+    embed_pvn,
+)
 from repro.core.discovery.messages import (
     DeploymentAck,
     DeploymentNack,
     DeploymentRequest,
 )
 from repro.core.pvnc.compiler import (
+    _USE_DEFAULT_CACHE,
+    CompileCache,
     CompiledPvnc,
     UserEnvironment,
     build_middleboxes,
@@ -556,6 +562,8 @@ class DeploymentManager:
         store_services: set[str] | None = None,
         store_factories: dict[str, Callable[[], Middlebox]] | None = None,
         store_capabilities: dict[str, Capability] | None = None,
+        compile_cache: CompileCache | None = _USE_DEFAULT_CACHE,  # type: ignore[assignment]
+        use_embedding_index: bool = True,
     ) -> None:
         self.provider = provider
         self.topo = topo
@@ -573,6 +581,13 @@ class DeploymentManager:
         self.store_capabilities = store_capabilities or {}
         self.deployments: dict[str, Deployment] = {}
         self._subnet_counter = itertools.count(1)
+        # Control-plane fast path: memoized compiles (process-wide by
+        # default; pass compile_cache=None for the uncached baseline)
+        # and snapshot-validated placement memoization.
+        self.compile_cache = compile_cache
+        self.embedding_index = (
+            EmbeddingIndex(topo, hosts) if use_embedding_index else None
+        )
         # Lazily created by repro.core.deployment.migration.
         self.migration_coordinator = None
 
@@ -602,11 +617,13 @@ class DeploymentManager:
             with _phase_span(tracer, "deployment.compile", now):
                 compiled = compile_pvnc(request.pvnc, self.store_services,
                                         self.container_spec,
-                                        self.store_capabilities)
+                                        self.store_capabilities,
+                                        cache=self.compile_cache)
             with _phase_span(tracer, "deployment.embed", now):
                 embedding = embed_pvn(
                     compiled, self.topo, self.hosts,
                     device_node=device_node, gateway_node=self.gateway_node,
+                    index=self.embedding_index,
                 )
             install_span = (tracer.start_span("deployment.install", now)
                             if tracer is not None else None)

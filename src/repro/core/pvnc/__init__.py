@@ -2,11 +2,15 @@
 
 from repro.core.pvnc.compiler import (
     BUILTIN_REGISTRY,
+    CompileCache,
     CompiledPvnc,
     UserEnvironment,
     build_middleboxes,
     builtin_services,
     compile_pvnc,
+    default_compile_cache,
+    policy_digest,
+    reset_compile_cache,
 )
 from repro.core.pvnc.dsl import parse_pvnc, render_pvnc
 from repro.core.pvnc.repository import PvncRepository, parse_uri, pvnc_uri
@@ -24,6 +28,7 @@ from repro.core.pvnc.validation import ensure_valid, validate_pvnc
 __all__ = [
     "BUILTIN_REGISTRY",
     "ClassRule",
+    "CompileCache",
     "CompiledPvnc",
     "Constraints",
     "ModuleSpec",
@@ -36,10 +41,13 @@ __all__ = [
     "build_middleboxes",
     "builtin_services",
     "compile_pvnc",
+    "default_compile_cache",
     "ensure_valid",
     "parse_pvnc",
     "parse_uri",
+    "policy_digest",
     "pvnc_uri",
     "render_pvnc",
+    "reset_compile_cache",
     "validate_pvnc",
 ]

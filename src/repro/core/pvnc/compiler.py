@@ -15,11 +15,23 @@ everything the deployment manager needs:
 Builtin module construction is table-driven: :data:`BUILTIN_REGISTRY`
 maps a service name to a factory taking the :class:`ModuleSpec` and the
 user's :class:`UserEnvironment` (trust material, resolver set, etc.).
+
+Compilation is memoized through a content-addressed
+:class:`CompileCache`: the cache key hashes the *policy* — modules,
+class rules, constraints — plus every compile input that shapes the
+output (store services, store capability grants, the container spec)
+and the compiler/DSL revision, but **not** the user.  Two devices with
+byte-identical policies therefore share one compiled artifact (the
+"store app" case); only the owner-scoped steering match is rebound per
+user, which is O(1).  Bumping the revision (a DSL or registry change)
+invalidates every cached entry.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Callable
 
 from repro.core.pvnc.model import (
@@ -48,7 +60,13 @@ from repro.nfv.container import ContainerSpec
 from repro.nfv.middlebox import Middlebox
 from repro.nfv.placement import PlacementRequest
 from repro.nfv.sandbox import Capability
+from repro.obs import runtime as obs_runtime
 from repro.sdn.match import Match
+
+#: Bumped when the compiler's output format or the DSL semantics change
+#: incompatibly; part of every cache key, so stale artifacts from an
+#: older compiler revision can never be served.
+COMPILER_REVISION = 1
 
 
 @dataclasses.dataclass
@@ -231,18 +249,246 @@ class CompiledPvnc:
         return mapping.get(traffic_class, mapping.get("default", ()))
 
 
+def policy_digest(pvnc: Pvnc) -> bytes:
+    """Content hash of the *policy* — everything but the user.
+
+    This is the sharing key: two users running the same store app (or
+    the same default configuration) produce the same policy digest, so
+    their compiles resolve to one cached artifact.  ``Pvnc.digest()``
+    is not reusable here because it binds the user (attestations must),
+    and because the cache must also key on constraints, which shape
+    validation.
+    """
+    blob = json.dumps(
+        {
+            "modules": [
+                [m.service, list(m.params), m.source, m.allow_physical_reuse]
+                for m in pvnc.modules
+            ],
+            "rules": [
+                [r.traffic_class, list(r.pipeline), r.terminal]
+                for r in pvnc.class_rules
+            ],
+            "constraints": [
+                list(pvnc.constraints.required_services),
+                list(pvnc.constraints.preferred_services),
+                pvnc.constraints.max_price,
+                pvnc.constraints.max_added_latency,
+            ],
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).digest()
+
+
+def _count_cache(result: str) -> None:
+    """Publish one compile-cache event (no-op with observability off).
+
+    Compilation is a rare control-plane event, so — like discovery —
+    the counter increments live at the site instead of folding at
+    publish time."""
+    obs = obs_runtime.current()
+    if obs is None:
+        return
+    obs.metrics.counter(
+        "repro_compile_cache_events",
+        "PVNC compile cache lookups by result",
+        ("result",),
+    ).labels(result=result).inc()
+
+
+class CompileCache:
+    """A content-addressed memo of :func:`compile_pvnc` outputs.
+
+    Entries are keyed by the policy digest plus every other compile
+    input (store services, store capability grants, container spec) and
+    the compiler/DSL revision.  A hit rebinds the cached artifact to
+    the calling user — ``dataclasses.replace`` swapping only ``pvnc``
+    and the owner-scoped match — so the expensive pieces (placement
+    requests, chain layout, capability grants, estimates) are shared
+    objects across all devices with that policy.
+
+    Invalidation is explicit: :meth:`invalidate` bumps the cache
+    revision, which participates in every key, so all prior entries
+    miss.  Mutating a PVNC (any module, rule, or constraint — i.e. a
+    new DSL source revision) changes the policy digest and misses
+    naturally.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.revision = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries: dict[bytes, CompiledPvnc] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ------------------------------------------------------------
+
+    def key(
+        self,
+        pvnc: Pvnc,
+        store_services: set[str] | None,
+        container_spec: ContainerSpec | None,
+        store_capabilities: dict[str, Capability] | None,
+    ) -> bytes:
+        container = container_spec or ContainerSpec()
+        extras = json.dumps(
+            {
+                "revision": [COMPILER_REVISION, self.revision],
+                "store": sorted(store_services or ()),
+                "caps": sorted(
+                    (service, cap.value)
+                    for service, cap in (store_capabilities or {}).items()
+                ),
+                "container": [
+                    container.instantiation_time,
+                    container.per_packet_delay,
+                    container.memory_bytes,
+                    container.cpu_share,
+                ],
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(policy_digest(pvnc) + extras).digest()
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: bytes, pvnc: Pvnc) -> CompiledPvnc | None:
+        """The cached artifact rebound to ``pvnc``'s user, or None."""
+        skeleton = self._entries.get(key)
+        if skeleton is None:
+            self.misses += 1
+            _count_cache("miss")
+            return None
+        self.hits += 1
+        _count_cache("hit")
+        if skeleton.pvnc is pvnc:
+            return skeleton
+        return dataclasses.replace(
+            skeleton, pvnc=pvnc, pvn_match=Match(owner=pvnc.user),
+        )
+
+    def put(self, key: bytes, compiled: CompiledPvnc) -> None:
+        if len(self._entries) >= self.max_entries:
+            # Size fence for unbounded policy churn: drop the oldest
+            # entry (dict preserves insertion order).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = compiled
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, reason: str = "") -> None:
+        """Drop every entry and bump the revision.
+
+        Call when the DSL semantics or the builtin registry change out
+        from under compiled artifacts; any in-flight key computed
+        against the old revision can no longer hit."""
+        self.revision += 1
+        self.invalidations += 1
+        self._entries.clear()
+        _count_cache("invalidate")
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "invalidations": self.invalidations,
+            "revision": self.revision,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def publish(self, now: float = 0.0) -> None:
+        """Fold entry-count/hit-rate gauges into the metrics registry."""
+        obs = obs_runtime.current()
+        if obs is None:
+            return
+        obs.metrics.gauge(
+            "repro_compile_cache_entries",
+            "Live compiled-PVNC artifacts in the cache",
+        ).set(float(len(self._entries)))
+        obs.metrics.gauge(
+            "repro_compile_cache_hit_rate",
+            "Lifetime compile-cache hit rate",
+        ).set(self.hit_rate)
+
+
+_default_cache = CompileCache()
+
+
+def default_compile_cache() -> CompileCache:
+    """The process-wide compile cache.
+
+    Shared by the device side (negotiation compiles for estimates) and
+    the provider side (deployment compiles for installation), so one
+    attach pays at most one real compilation even though both layers
+    call :func:`compile_pvnc`.
+    """
+    return _default_cache
+
+
+def reset_compile_cache() -> CompileCache:
+    """Replace the process-wide cache (tests, benchmark baselines)."""
+    global _default_cache
+    _default_cache = CompileCache()
+    return _default_cache
+
+
+_USE_DEFAULT_CACHE = object()    # sentinel: "use the process cache"
+
+
 def compile_pvnc(
     pvnc: Pvnc,
     store_services: set[str] | None = None,
     container_spec: ContainerSpec | None = None,
     store_capabilities: dict[str, Capability] | None = None,
+    cache: CompileCache | None = _USE_DEFAULT_CACHE,  # type: ignore[assignment]
 ) -> CompiledPvnc:
     """Validate and compile ``pvnc``.
+
+    Compiles are memoized through ``cache`` (the process-wide cache by
+    default; pass ``cache=None`` to force a from-scratch compile, e.g.
+    for a baseline measurement).  Hits skip validation too: the cache
+    key covers every input validation reads, so a cached policy was
+    already proven valid.
 
     Raises :class:`~repro.errors.ConfigurationError` (via
     :func:`ensure_valid`) on invalid configurations and
     :class:`CompilationError` on compile-time problems.
     """
+    if cache is _USE_DEFAULT_CACHE:
+        cache = _default_cache
+    if cache is not None:
+        key = cache.key(pvnc, store_services, container_spec,
+                        store_capabilities)
+        cached = cache.get(key, pvnc)
+        if cached is not None:
+            return cached
+    compiled = _compile_uncached(
+        pvnc, store_services, container_spec, store_capabilities
+    )
+    if cache is not None:
+        cache.put(key, compiled)
+    return compiled
+
+
+def _compile_uncached(
+    pvnc: Pvnc,
+    store_services: set[str] | None = None,
+    container_spec: ContainerSpec | None = None,
+    store_capabilities: dict[str, Capability] | None = None,
+) -> CompiledPvnc:
+    """The real compiler body — validation plus artifact construction."""
     ensure_valid(pvnc, builtin_services(), store_services)
     container = container_spec or ContainerSpec()
 

@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp15_migration,
     exp16_datapath,
     exp17_observability,
+    exp18_control_plane,
     fig1a,
     fig1b,
     fig1c,
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = {
     # digests — stable.
     "E16": exp16_datapath.run,
     "E17": exp17_observability.run,
+    "E18": exp18_control_plane.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -20,6 +20,7 @@ from repro.netsim.randomness import (
     default_streams,
     derive_seed,
     seed_default_streams,
+    shard_seed,
 )
 from repro.netsim.simulator import Simulator
 from repro.netsim.tcp import (
@@ -67,6 +68,7 @@ __all__ = [
     "default_streams",
     "derive_seed",
     "seed_default_streams",
+    "shard_seed",
     "link_rtt",
     "mathis_throughput_bps",
     "simulate_split_transfer",

@@ -25,12 +25,14 @@ class EventPriority(enum.IntEnum):
     BACKGROUND = 2
 
 
-@dataclasses.dataclass(order=True)
+@dataclasses.dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Comparison uses only ``(time, priority, sequence)`` so events are
-    heap-orderable regardless of their callback payloads.
+    heap-orderable regardless of their callback payloads.  The class is
+    slotted: events are the hottest allocation in the simulator, and a
+    fixed layout drops the per-event ``__dict__``.
     """
 
     time: float
@@ -39,10 +41,19 @@ class Event:
     callback: Callable[..., None] = dataclasses.field(compare=False)
     args: tuple[Any, ...] = dataclasses.field(compare=False, default=())
     cancelled: bool = dataclasses.field(compare=False, default=False)
+    #: Set by the owning simulator so it can count live tombstones and
+    #: trigger heap compaction (see ``Simulator.queue_compaction``).
+    on_cancel: Callable[["Event"], None] | None = dataclasses.field(
+        compare=False, default=None, repr=False,
+    )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel(self)
 
     def fire(self) -> None:
         """Invoke the callback (the simulator calls this)."""

@@ -15,9 +15,13 @@ from typing import Any
 _packet_ids = itertools.count(1)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Packet:
     """One simulated packet (or packet-train for flow-level models).
+
+    Slotted: packets are allocated per event in replay loops, and the
+    fixed layout removes the per-instance ``__dict__`` (see the
+    allocation guard in ``benchmarks/test_bench_micro.py``).
 
     Attributes
     ----------

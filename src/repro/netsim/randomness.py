@@ -18,6 +18,19 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def shard_seed(root_seed: int, shard_index: int) -> int:
+    """The seed for one worker shard of a partitioned experiment.
+
+    Derived from the root seed and the shard *index only* — never the
+    shard count — so a shard's stream factory is stable while the
+    population is repartitioned.  Output-affecting draws must still be
+    keyed per entity (``derive_seed(root, f"device:{i}")``), not per
+    shard: that is what makes merged results byte-identical regardless
+    of how many shards ran (see ``repro.experiments.runner``).
+    """
+    return derive_seed(root_seed, f"shard:{shard_index}")
+
+
 class RandomStreams:
     """A factory of independent, named ``numpy`` generators.
 

@@ -35,12 +35,18 @@ class Simulator:
         Initial clock value in seconds (default 0.0).
     """
 
+    #: Heaps smaller than this are never compacted: a rebuild costs
+    #: more than the tombstones it would reclaim.
+    COMPACTION_FLOOR = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._sequence = 0
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
+        self.compactions = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -58,6 +64,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (cancelled events included)."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (tombstones)."""
+        return self._cancelled_pending
 
     # -- scheduling ------------------------------------------------------
 
@@ -93,10 +104,42 @@ class Simulator:
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
         event = Event(time=float(time), priority=int(priority),
-                      sequence=self._sequence, callback=callback, args=args)
+                      sequence=self._sequence, callback=callback, args=args,
+                      on_cancel=self._note_cancel)
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return event
+
+    # -- tombstone management ---------------------------------------------
+
+    def _note_cancel(self, event: Event) -> None:
+        """Account one cancellation; compact when tombstones dominate.
+
+        Long chaos runs retract far more events than they fire (retry
+        timers, lease renewals); without a bound the heap would grow
+        with every *cancelled* event too.  Compaction triggers lazily
+        when over half the heap is tombstones, so the amortized cost
+        per cancellation stays O(log n).
+        """
+        self._cancelled_pending += 1
+        if (len(self._queue) >= self.COMPACTION_FLOOR
+                and self._cancelled_pending * 2 > len(self._queue)):
+            self.queue_compaction()
+
+    def queue_compaction(self) -> int:
+        """Drop every cancelled event from the heap; returns how many.
+
+        Event ordering is total — ``(time, priority, sequence)`` — so
+        re-heapifying the survivors preserves the exact firing order.
+        """
+        before = len(self._queue)
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        removed = before - len(self._queue)
+        self._cancelled_pending = 0
+        if removed:
+            self.compactions += 1
+        return removed
 
     # -- execution -------------------------------------------------------
 
@@ -105,6 +148,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._processed += 1
@@ -131,6 +175,7 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and head.time > until:
                     break

@@ -37,6 +37,10 @@ class PhysicalTopology:
     def __init__(self, name: str = "net") -> None:
         self.name = name
         self.graph = nx.Graph()
+        #: Bumped on every routing-affecting mutation (nodes, links,
+        #: link up/down).  Embedding caches validate against it so a
+        #: memoized placement can never survive a topology change.
+        self.version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -46,6 +50,7 @@ class PhysicalTopology:
                 f"unknown node kind {kind!r}; expected one of {sorted(NODE_KINDS)}"
             )
         self.graph.add_node(name, kind=kind, **attrs)
+        self.version += 1
 
     def add_link(
         self,
@@ -62,6 +67,7 @@ class PhysicalTopology:
             a, b, latency=latency, bandwidth_bps=bandwidth_bps,
             loss_rate=loss_rate,
         )
+        self.version += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -108,9 +114,11 @@ class PhysicalTopology:
     def set_link_down(self, a: str, b: str) -> None:
         """Mark a link failed: routing and embedding avoid it."""
         self._edge(a, b)["down"] = True
+        self.version += 1
 
     def set_link_up(self, a: str, b: str) -> None:
         self._edge(a, b)["down"] = False
+        self.version += 1
 
     def link_is_down(self, a: str, b: str) -> bool:
         return bool(self._edge(a, b).get("down", False))

@@ -136,6 +136,21 @@ class Container:
         self.checkpoints_taken = 0
         self.restored_from: int | None = None   # source container id
         self._start_epoch = 0     # invalidates stale instantiation events
+        # Back-reference set by the admitting NfvHost so state
+        # transitions feed its incremental capacity counters.
+        self._host = None
+
+    def _set_state(self, new_state: "ContainerState") -> None:
+        """Transition to ``new_state``, notifying the hosting NfvHost.
+
+        Every state assignment funnels through here; the host keeps its
+        residual-capacity counters exact by observing each transition
+        instead of rescanning its container table.
+        """
+        old_state = self.state
+        self.state = new_state
+        if self._host is not None and old_state is not new_state:
+            self._host._account(self, old_state, new_state)
 
     @property
     def name(self) -> str:
@@ -152,7 +167,7 @@ class Container:
         if self.state not in (ContainerState.CREATED, ContainerState.STOPPED,
                               ContainerState.CRASHED):
             raise SimulationError(f"cannot start container in {self.state}")
-        self.state = ContainerState.INSTANTIATING
+        self._set_state(ContainerState.INSTANTIATING)
         self.started_at = sim.now
         self._start_epoch += 1
         epoch = self._start_epoch
@@ -160,27 +175,27 @@ class Container:
         def _running() -> None:
             if (self._start_epoch == epoch
                     and self.state is ContainerState.INSTANTIATING):
-                self.state = ContainerState.RUNNING
+                self._set_state(ContainerState.RUNNING)
                 self.running_at = sim.now
 
         sim.schedule(self.spec.instantiation_time, _running)
 
     def start_immediately(self, now: float) -> None:
         """Synchronous start for non-event-driven experiments."""
-        self.state = ContainerState.RUNNING
+        self._set_state(ContainerState.RUNNING)
         self.started_at = now
         self.running_at = now + self.spec.instantiation_time
         self._start_epoch += 1
 
     def stop(self) -> None:
-        self.state = ContainerState.STOPPED
+        self._set_state(ContainerState.STOPPED)
         self._start_epoch += 1
 
     def crash(self, now: float) -> None:
         """Fault injection: the instance dies until restarted."""
         if self.state is ContainerState.STOPPED:
             return
-        self.state = ContainerState.CRASHED
+        self._set_state(ContainerState.CRASHED)
         self.crashes += 1
         self.crashed_at = now
         self._start_epoch += 1

@@ -42,6 +42,7 @@ class NfvHost:
         name: str,
         capacity: HostCapacity | None = None,
         per_owner_memory_fraction: float | None = None,
+        incremental: bool = True,
     ) -> None:
         self.name = name
         self.capacity = capacity or HostCapacity()
@@ -55,11 +56,51 @@ class NfvHost:
         self.rejections = 0
         self.alive = True
         self.failures = 0
+        # Residual-capacity index: counters maintained by container
+        # state transitions (O(1) per attach/detach/migrate) instead of
+        # summed over the container table on every admission check.
+        # ``incremental=False`` keeps the original rescanning cost
+        # model, used as the E18 baseline.
+        self.incremental = incremental
+        self._memory_in_use = 0
+        self._cpu_in_use = 0.0
+        self._live_count = 0
+        self._owner_memory: dict[str, int] = {}
 
     # -- accounting ----------------------------------------------------------
 
+    def _account(self, container: Container, old_state: ContainerState,
+                 new_state: ContainerState) -> None:
+        """Apply one container state transition to the residual index.
+
+        Only the STOPPED boundary matters: a stopped container releases
+        its reservation, every other state (including CRASHED, which
+        stays admitted for repair) holds it.
+        """
+        was_live = old_state is not ContainerState.STOPPED
+        is_live = new_state is not ContainerState.STOPPED
+        if was_live and not is_live:
+            self._charge(container, -1)
+        elif is_live and not was_live:
+            self._charge(container, +1)
+
+    def _charge(self, container: Container, sign: int) -> None:
+        self._memory_in_use += sign * container.spec.memory_bytes
+        self._cpu_in_use += sign * container.spec.cpu_share
+        self._live_count += sign
+        owner_memory = (
+            self._owner_memory.get(container.owner, 0)
+            + sign * container.spec.memory_bytes
+        )
+        if owner_memory:
+            self._owner_memory[container.owner] = owner_memory
+        else:
+            self._owner_memory.pop(container.owner, None)
+
     @property
     def memory_in_use(self) -> int:
+        if self.incremental:
+            return self._memory_in_use
         return sum(
             c.spec.memory_bytes for c in self._containers.values()
             if c.state is not ContainerState.STOPPED
@@ -67,6 +108,8 @@ class NfvHost:
 
     @property
     def cpu_in_use(self) -> float:
+        if self.incremental:
+            return self._cpu_in_use
         return sum(
             c.spec.cpu_share for c in self._containers.values()
             if c.state is not ContainerState.STOPPED
@@ -74,12 +117,16 @@ class NfvHost:
 
     @property
     def container_count(self) -> int:
+        if self.incremental:
+            return self._live_count
         return sum(
             1 for c in self._containers.values()
             if c.state is not ContainerState.STOPPED
         )
 
     def memory_of_owner(self, owner: str) -> int:
+        if self.incremental:
+            return self._owner_memory.get(owner, 0)
         return sum(
             c.spec.memory_bytes for c in self._containers.values()
             if c.owner == owner and c.state is not ContainerState.STOPPED
@@ -116,6 +163,11 @@ class NfvHost:
                 f"cpu {self.cpu_in_use:.1f}/{self.capacity.cpu_cores}"
             )
         self._containers[container.container_id] = container
+        container._host = self
+        if container.state is not ContainerState.STOPPED:
+            # Admitted live (CREATED/CRASHED): the reservation starts
+            # now; subsequent transitions flow through _account.
+            self._charge(container, +1)
         if sim is not None:
             container.start(sim)
         else:
@@ -127,6 +179,9 @@ class NfvHost:
         container = self._containers.pop(container_id, None)
         if container is None:
             return False
+        if container.state is not ContainerState.STOPPED:
+            self._charge(container, -1)
+        container._host = None
         container.stop()
         return True
 

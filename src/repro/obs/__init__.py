@@ -1,6 +1,6 @@
 """repro.obs — the cross-cutting observability subsystem.
 
-Four pieces (see DESIGN.md §9):
+Four pieces (see DESIGN.md §8):
 
 * :mod:`repro.obs.spans` — causal span tracing with sim-time *and*
   wall-time clocks, propagated in-process (active-span stack) and on

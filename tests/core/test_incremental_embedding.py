@@ -1,0 +1,313 @@
+"""Incremental admission/embedding state == from-scratch recompute.
+
+The residual-capacity counters on :class:`NfvHost` and the snapshot-
+validated placement memo in :class:`EmbeddingIndex` are pure
+optimisations: this module property-tests that after *any* sequence of
+attach / stop / crash / restart / terminate / migrate / host-fail /
+host-recover operations (hypothesis-driven), and across real migration
+epochs (PR 2's coordinator), the incremental state is exactly what a
+full rescan computes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deployment.embedding import EmbeddingIndex, embed_pvn
+from repro.core.deployment.manager import DeploymentManager
+from repro.core.deployment.lifecycle import migrate_device
+from repro.core.discovery.messages import DeploymentAck, DeploymentRequest
+from repro.core.pvnc import UserEnvironment, compile_pvnc
+from repro.core.session import default_pvnc
+from repro.errors import CapacityError, EmbeddingError, ReproError
+from repro.netproto.dns import Resolver, TrustAnchor, Zone, ZoneSigner
+from repro.netproto.tls import make_web_pki
+from repro.netsim import (
+    Simulator,
+    attach_device,
+    build_access_network,
+    build_wide_area,
+)
+from repro.nfv import Container, ContainerSpec, NfvHost
+from repro.nfv.hypervisor import HostCapacity
+from repro.nfv.container import ContainerState
+from repro.nfv.middlebox import Middlebox
+
+
+# -- from-scratch recompute (the spec the counters must match) --------------
+
+
+def rescan(host: NfvHost) -> dict:
+    """What the pre-index code computed by scanning the container table."""
+    live = [
+        c for c in host._containers.values()
+        if c.state is not ContainerState.STOPPED
+    ]
+    owners = {c.owner for c in host._containers.values()}
+    return {
+        "memory": sum(c.spec.memory_bytes for c in live),
+        "cpu": sum(c.spec.cpu_share for c in live),
+        "count": len(live),
+        "owner_memory": {
+            owner: sum(c.spec.memory_bytes for c in live if c.owner == owner)
+            for owner in owners
+        },
+    }
+
+
+def assert_host_consistent(host: NfvHost) -> None:
+    expected = rescan(host)
+    assert host.memory_in_use == expected["memory"]
+    assert math.isclose(host.cpu_in_use, expected["cpu"], abs_tol=1e-9)
+    assert host.container_count == expected["count"]
+    for owner, memory in expected["owner_memory"].items():
+        assert host.memory_of_owner(owner) == memory
+
+
+# -- hypothesis: arbitrary container lifecycle sequences --------------------
+
+
+OWNERS = ["alice", "bob", "carol"]
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["attach", "stop", "crash", "restart", "terminate",
+             "migrate", "fail", "recover"]
+        ),
+        st.integers(min_value=0, max_value=7),   # container / owner pick
+        st.integers(min_value=0, max_value=2),   # host pick
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestIncrementalHostAccounting:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_counters_equal_rescan_after_any_sequence(self, ops):
+        # Small capacity so sequences actually hit admission rejections.
+        hosts = [
+            NfvHost(f"h{i}", HostCapacity(memory_bytes=30_000_000,
+                                          cpu_cores=2.0))
+            for i in range(3)
+        ]
+        containers: list[Container] = []
+        located: dict[int, NfvHost] = {}   # container_id -> current host
+
+        def launch_on(host: NfvHost, container: Container) -> None:
+            try:
+                host.launch(container, now=0.0)
+                located[container.container_id] = host
+            except CapacityError:
+                located.pop(container.container_id, None)
+
+        for op, pick, host_pick in ops:
+            host = hosts[host_pick]
+            if op == "attach":
+                container = Container(
+                    Middlebox(f"svc{pick}"),
+                    spec=ContainerSpec(),
+                    owner=OWNERS[pick % len(OWNERS)],
+                )
+                containers.append(container)
+                launch_on(host, container)
+            elif containers and op == "stop":
+                containers[pick % len(containers)].stop()
+            elif containers and op == "crash":
+                containers[pick % len(containers)].crash(0.0)
+            elif containers and op == "restart":
+                containers[pick % len(containers)].start_immediately(0.0)
+            elif containers and op == "terminate":
+                container = containers[pick % len(containers)]
+                owner = located.pop(container.container_id, None)
+                if owner is not None:
+                    owner.terminate(container.container_id)
+            elif containers and op == "migrate":
+                # Make-before-break at the accounting level: release the
+                # source reservation, take one at the target.
+                container = containers[pick % len(containers)]
+                source = located.pop(container.container_id, None)
+                if source is not None:
+                    source.terminate(container.container_id)
+                launch_on(host, container)
+            elif op == "fail":
+                host.fail(0.0)
+            elif op == "recover":
+                host.recover()
+            # The invariant holds at *every* step, not just at the end.
+            for each in hosts:
+                assert_host_consistent(each)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_can_admit_parity_with_rescanning_host(self, ops):
+        """Incremental and rescanning hosts replaying the same sequence
+        make identical admission decisions throughout."""
+        fast = NfvHost("fast", HostCapacity(memory_bytes=30_000_000,
+                                            cpu_cores=2.0),
+                       per_owner_memory_fraction=0.5)
+        slow = NfvHost("slow", HostCapacity(memory_bytes=30_000_000,
+                                            cpu_cores=2.0),
+                       per_owner_memory_fraction=0.5, incremental=False)
+        pairs: list[tuple[Container, Container]] = []
+        for op, pick, _ in ops:
+            if op == "attach":
+                owner = OWNERS[pick % len(OWNERS)]
+                a = Container(Middlebox("svc"), owner=owner)
+                b = Container(Middlebox("svc"), owner=owner)
+                assert fast.can_admit(a) == slow.can_admit(b)
+                admitted = 0
+                for host, container in ((fast, a), (slow, b)):
+                    try:
+                        host.launch(container, now=0.0)
+                        admitted += 1
+                    except CapacityError:
+                        pass
+                assert admitted in (0, 2)
+                if admitted:
+                    pairs.append((a, b))
+            elif pairs and op == "stop":
+                a, b = pairs[pick % len(pairs)]
+                a.stop(), b.stop()
+            elif pairs and op == "restart":
+                a, b = pairs[pick % len(pairs)]
+                a.start_immediately(0.0), b.start_immediately(0.0)
+            elif pairs and op == "terminate":
+                a, b = pairs[pick % len(pairs)]
+                fast.terminate(a.container_id)
+                slow.terminate(b.container_id)
+            assert fast.memory_in_use == slow.memory_in_use
+            assert math.isclose(fast.cpu_in_use, slow.cpu_in_use,
+                                abs_tol=1e-9)
+            assert fast.container_count == slow.container_count
+
+
+# -- hypothesis: indexed embedding == uncached embedding --------------------
+
+
+def build_world():
+    topo = build_access_network()
+    attach_device(topo, "dev_a")
+    attach_device(topo, "dev_b", ap="ap1")
+    # Tight hosts so attaches change feasibility and the memo must
+    # re-validate instead of serving stale plans.
+    hosts = {
+        n: NfvHost(n, HostCapacity(memory_bytes=120_000_000, cpu_cores=4.0))
+        for n in topo.nodes_of_kind("nfv")
+    }
+    return topo, hosts
+
+
+EMBED_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["embed_a", "embed_b", "teardown", "flap"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestEmbeddingIndexEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=EMBED_OPS)
+    def test_indexed_plan_equals_fresh_plan(self, ops):
+        topo, hosts = build_world()
+        index = EmbeddingIndex(topo, hosts)
+        compiled = compile_pvnc(default_pvnc("prop"), cache=None)
+        users = 0
+        flap_link = ("nfv0", "agg")
+
+        for op, pick in ops:
+            if op in ("embed_a", "embed_b"):
+                device = "dev_a" if op == "embed_a" else "dev_b"
+                try:
+                    fresh = embed_pvn(compiled, topo, hosts, device)
+                except (EmbeddingError, ReproError) as exc:
+                    with pytest.raises(type(exc)):
+                        embed_pvn(compiled, topo, hosts, device, index=index)
+                    continue
+                indexed = embed_pvn(compiled, topo, hosts, device,
+                                    index=index)
+                assert indexed.plan == fresh.plan
+                assert indexed.expected_rtt == fresh.expected_rtt
+                # Consume the plan's capacity, as _install would.
+                users += 1
+                for decision in indexed.plan.decisions:
+                    host = hosts.get(decision.node)
+                    if host is None or decision.reused_physical:
+                        continue
+                    container = Container(Middlebox(decision.service),
+                                          owner=f"u{users}")
+                    try:
+                        host.launch(container, now=0.0)
+                    except CapacityError:
+                        pass
+            elif op == "teardown" and users:
+                owner = f"u{pick % users + 1}"
+                for host in hosts.values():
+                    host.terminate_owner(owner)
+            elif op == "flap":
+                if topo.link_is_down(*flap_link):
+                    topo.set_link_up(*flap_link)
+                else:
+                    topo.set_link_down(*flap_link)
+
+
+# -- real migration epochs (PR 2 coordinator) -------------------------------
+
+
+def make_env():
+    _, trust_store, _ = make_web_pki(0.0, ["x.example.com"])
+    anchor = TrustAnchor()
+    anchor.add_zone("example.com", b"zk")
+    signer = ZoneSigner("example.com", key=b"zk")
+    zone = Zone("example.com", signer=signer)
+    zone.add("x.example.com", "A", "198.51.100.9")
+    return UserEnvironment(
+        trust_store=trust_store,
+        trust_anchor=anchor,
+        open_resolvers=[Resolver("open0", [zone])],
+    )
+
+
+class TestMigrationEpochs:
+    def test_incremental_state_exact_across_migration(self):
+        sim = Simulator()
+        topo = build_wide_area(build_access_network())
+        attach_device(topo, "dev_alice")
+        attach_device(topo, "dev_alice2", ap="ap1")
+        hosts = {n: NfvHost(n) for n in topo.nodes_of_kind("nfv")}
+        manager = DeploymentManager(provider="isp", topo=topo, hosts=hosts,
+                                    sim=sim)
+        pvnc = default_pvnc()
+        request = DeploymentRequest(
+            device_id="alice:mac", offer_id=1, pvnc=pvnc,
+            accepted_services=pvnc.used_services(), payment=10.0,
+        )
+        ack = manager.deploy(request, make_env(), "dev_alice", now=sim.now)
+        assert isinstance(ack, DeploymentAck)
+        for host in hosts.values():
+            assert_host_consistent(host)
+
+        result = migrate_device(manager, ack.deployment_id, "dev_alice2",
+                                now=sim.now)
+        assert result.committed
+        for host in hosts.values():
+            assert_host_consistent(host)
+
+        # After the epoch bump the index still agrees with a fresh embed.
+        deployment = manager.deployment(result.deployment_id)
+        fresh = embed_pvn(deployment.compiled, topo, hosts, "dev_alice2")
+        indexed = embed_pvn(deployment.compiled, topo, hosts, "dev_alice2",
+                            index=manager.embedding_index)
+        assert indexed.plan == fresh.plan
+
+        manager.teardown(result.deployment_id)
+        for host in hosts.values():
+            assert_host_consistent(host)
+            assert host.memory_in_use == 0
+            assert host.container_count == 0
