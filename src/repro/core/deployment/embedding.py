@@ -61,12 +61,22 @@ class EmbeddingIndex:
     path is exact, not heuristic — the hypothesis property in
     ``tests/core/test_incremental_embedding.py`` drives arbitrary
     attach/detach/migrate/link-flap sequences against both.
+
+    With an ``optimizer`` (:class:`~repro.core.deployment.orchestrator
+    .PlacementOptimizer`) attached, placement additionally reads the
+    shared-middlebox pool (which instances are joinable, at what load)
+    and the powered-host set, so the snapshot must cover those too —
+    ``optimizer.share_snapshot`` — or a memo hit could replay a stale
+    "join" decision into an instance that has since filled to its
+    isolation cap (regression: ``tests/core/test_orchestrator.py``).
     """
 
     def __init__(self, topo: PhysicalTopology,
-                 hosts: dict[str, NfvHost]) -> None:
+                 hosts: dict[str, NfvHost],
+                 optimizer=None) -> None:
         self.topo = topo
         self.hosts = hosts
+        self.optimizer = optimizer
         self.hits = 0
         self.misses = 0
         self._memo: dict[tuple, tuple[tuple, PlacementPlan]] = {}
@@ -85,10 +95,17 @@ class EmbeddingIndex:
         requirements = sorted(
             {(r.memory_bytes, r.cpu_share) for r in requests}
         )
-        return (
+        base = (
             self.topo.version,
             tuple(self._feasible(memory, cpu) for memory, cpu in requirements),
         )
+        if self.optimizer is None:
+            return base
+        # The sharing state (joinable instances + loads + powered
+        # hosts) is a placement input too — leaving it out of the
+        # snapshot lets a memo hit violate a later request's isolation
+        # cap (see the class docstring).
+        return base + (self.optimizer.share_snapshot(requests),)
 
     def place(
         self,
@@ -104,10 +121,15 @@ class EmbeddingIndex:
             self.hits += 1
             return entry[1]
         self.misses += 1
-        plan = place_chain(
-            self.topo, list(requests), src=src, dst=dst,
-            hosts=self.hosts, prefer_reuse=prefer_reuse,
-        )
+        if self.optimizer is not None:
+            plan = self.optimizer.place(
+                requests, src=src, dst=dst, prefer_reuse=prefer_reuse,
+            )
+        else:
+            plan = place_chain(
+                self.topo, list(requests), src=src, dst=dst,
+                hosts=self.hosts, prefer_reuse=prefer_reuse,
+            )
         self._memo[key] = (snapshot, plan)
         return plan
 
@@ -128,11 +150,14 @@ def embed_pvn(
     prefer_reuse: bool = True,
     max_stretch: float = 4.0,
     index: EmbeddingIndex | None = None,
+    optimizer=None,
 ) -> EmbeddingResult:
     """Embed ``compiled`` or raise.
 
     With ``index``, the placement search is memoized (see
-    :class:`EmbeddingIndex`); results are identical either way.
+    :class:`EmbeddingIndex`); results are identical either way.  With
+    ``optimizer`` (and no index — an index carries its own), the
+    multi-objective heuristic replaces first-fit.
 
     Raises :class:`EmbeddingError` when no placement exists and
     :class:`AdmissionError` when a placement exists but its stretch
@@ -140,6 +165,13 @@ def embed_pvn(
     """
     if index is not None:
         plan = index.place(
+            compiled.placement_requests,
+            src=device_node,
+            dst=gateway_node,
+            prefer_reuse=prefer_reuse,
+        )
+    elif optimizer is not None:
+        plan = optimizer.place(
             compiled.placement_requests,
             src=device_node,
             dst=gateway_node,

@@ -564,6 +564,7 @@ class DeploymentManager:
         store_capabilities: dict[str, Capability] | None = None,
         compile_cache: CompileCache | None = _USE_DEFAULT_CACHE,  # type: ignore[assignment]
         use_embedding_index: bool = True,
+        optimizer=None,
     ) -> None:
         self.provider = provider
         self.topo = topo
@@ -585,8 +586,13 @@ class DeploymentManager:
         # default; pass compile_cache=None for the uncached baseline)
         # and snapshot-validated placement memoization.
         self.compile_cache = compile_cache
+        # Opt-in multi-objective placement + middlebox sharing
+        # (repro.core.deployment.orchestrator.PlacementOptimizer);
+        # None keeps the first-fit seed behaviour byte-identical.
+        self.optimizer = optimizer
         self.embedding_index = (
-            EmbeddingIndex(topo, hosts) if use_embedding_index else None
+            EmbeddingIndex(topo, hosts, optimizer=optimizer)
+            if use_embedding_index else None
         )
         # Lazily created by repro.core.deployment.migration.
         self.migration_coordinator = None
@@ -624,6 +630,7 @@ class DeploymentManager:
                     compiled, self.topo, self.hosts,
                     device_node=device_node, gateway_node=self.gateway_node,
                     index=self.embedding_index,
+                    optimizer=self.optimizer,
                 )
             install_span = (tracer.start_span("deployment.install", now)
                             if tracer is not None else None)
@@ -680,8 +687,11 @@ class DeploymentManager:
         #    in parallel, so readiness is one instantiation time away.
         middleboxes = build_middleboxes(compiled, env, self.store_factories)
         containers: dict[str, Container] = {}
+        # Shared instances are provider-operated like physical boxes:
+        # no per-user container is launched for either.
         reused = {
-            d.service for d in embedding.plan.decisions if d.reused_physical
+            d.service for d in embedding.plan.decisions
+            if d.reused_physical or d.shared
         }
         host_by_service = {
             d.service: d.node for d in embedding.plan.decisions
@@ -764,6 +774,13 @@ class DeploymentManager:
                 now=now,
             )
 
+        # 7. Sharing decisions take effect last, once the install can
+        #    no longer fail: join the plan's shared instances (spawning
+        #    any the plan left unassigned).
+        if self.optimizer is not None:
+            self.optimizer.commit_plan(deployment_id, embedding.plan,
+                                       sim=self.sim, now=now)
+
         return Deployment(
             deployment_id=deployment_id,
             user=user,
@@ -832,4 +849,9 @@ class DeploymentManager:
             host.terminate_owner(deployment.user)
         for container in deployment.containers.values():
             container.stop()
+        if self.optimizer is not None:
+            # Shared containers are owned by the pool, not the user, so
+            # terminate_owner left them alone; only drop the membership
+            # (the autoscaler retires instances that go cold).
+            self.optimizer.release(deployment_id)
         deployment.state = DeploymentState.TORN_DOWN

@@ -319,6 +319,7 @@ class MigrationTransaction:
                 source.compiled, self.manager.topo, live_hosts,
                 device_node=self.new_device_node,
                 gateway_node=source.embedding.gateway_node,
+                optimizer=self.manager.optimizer,
             )
         except ReproError as exc:
             self.reason = f"target embedding failed: {exc}"
@@ -327,9 +328,11 @@ class MigrationTransaction:
         middleboxes = build_middleboxes(
             source.compiled, source.env, self.manager.store_factories
         )
+        # Shared instances, like physical boxes, are provider-operated:
+        # the target launches no per-user container for them.
         reused = {
             d.service for d in self.target_embedding.plan.decisions
-            if d.reused_physical
+            if d.reused_physical or d.shared
         }
         host_by_service = {
             d.service: d.node for d in self.target_embedding.plan.decisions
@@ -387,6 +390,15 @@ class MigrationTransaction:
             trusted_execution=source.datapath.trusted_execution,
             containers=self.target_containers,
         )
+        # Make before break at the pool too: the target joins its
+        # shared instances while the source keeps its memberships; the
+        # loser's are released at COMMIT/ABORT.
+        if self.manager.optimizer is not None:
+            self.manager.optimizer.commit_plan(
+                self.target_id, self.target_embedding.plan,
+                sim=self.manager.sim, now=self.clock,
+            )
+
         self.phase = MigrationPhase.PREPARED
         self.journal.append(
             self.clock, self.txn_id, REC_PREPARE_DONE,
@@ -595,6 +607,10 @@ class MigrationTransaction:
                 container.stop()
         source.datapath.bridging_to = ""
         source.state = DeploymentState.SUPERSEDED
+        if manager.optimizer is not None:
+            # The superseded source's shared-instance memberships die
+            # with it; the target's (joined at PREPARE) survive.
+            manager.optimizer.release(source.deployment_id, now=self.clock)
 
         self.phase = MigrationPhase.COMMITTED
         self.journal.append(
@@ -622,6 +638,10 @@ class MigrationTransaction:
                 host.terminate(container.container_id)
             elif container.state is not ContainerState.STOPPED:
                 container.stop()
+        if self.manager.optimizer is not None and self.target_id:
+            # Roll back the PREPARE-time joins; the source keeps its
+            # memberships (release is idempotent if PREPARE never ran).
+            self.manager.optimizer.release(self.target_id, now=self.clock)
         self.source.datapath.bridging_to = ""
         self.phase = MigrationPhase.ABORTED
         self.journal.append(self.clock, self.txn_id, REC_ABORTED, self.reason)

@@ -24,6 +24,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp16_datapath,
     exp17_observability,
     exp18_control_plane,
+    exp19_orchestration,
     fig1a,
     fig1b,
     fig1c,
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS = {
     "E16": exp16_datapath.run,
     "E17": exp17_observability.run,
     "E18": exp18_control_plane.run,
+    "E19": exp19_orchestration.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -35,11 +35,21 @@ class PlacementRequest:
 
 @dataclasses.dataclass(frozen=True)
 class PlacementDecision:
-    """Where one middlebox landed."""
+    """Where one middlebox landed.
+
+    ``shared`` marks a provider-operated container shared across users
+    (the orchestrator's packing decision); ``instance`` names the
+    shared instance joined, or is empty when the plan calls for a new
+    shared container to be spawned at commit.  First-fit placement
+    never sets either, so plans (and their serialized records) are
+    unchanged unless an optimizer is in play.
+    """
 
     service: str
     node: str                  # topology node name
     reused_physical: bool      # True when an existing box is reused
+    shared: bool = False       # provider-shared container (orchestrator)
+    instance: str = ""         # shared instance joined ("" = spawn new)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,7 +66,12 @@ class PlacementPlan:
 
     @property
     def fresh_containers(self) -> int:
-        return sum(1 for d in self.decisions if not d.reused_physical)
+        """Per-user containers this plan launches (shared instances and
+        reused physical boxes are not per-user)."""
+        return sum(
+            1 for d in self.decisions
+            if not d.reused_physical and not d.shared
+        )
 
 
 def _physical_box_for(topo: PhysicalTopology, service: str) -> str | None:

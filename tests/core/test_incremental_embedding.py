@@ -14,16 +14,27 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.deployment import DeploymentState
 from repro.core.deployment.embedding import EmbeddingIndex, embed_pvn
 from repro.core.deployment.manager import DeploymentManager
 from repro.core.deployment.lifecycle import migrate_device
+from repro.core.deployment.migration import ensure_coordinator
+from repro.core.deployment.orchestrator import (
+    Autoscaler,
+    AutoscalePolicy,
+    InstanceState,
+    PlacementOptimizer,
+    SharedMiddleboxPool,
+)
 from repro.core.discovery.messages import DeploymentAck, DeploymentRequest
 from repro.core.pvnc import UserEnvironment, compile_pvnc
+from repro.core.pvnc.model import ClassRule, ModuleSpec, Pvnc
 from repro.core.session import default_pvnc
 from repro.errors import CapacityError, EmbeddingError, ReproError
 from repro.netproto.dns import Resolver, TrustAnchor, Zone, ZoneSigner
 from repro.netproto.tls import make_web_pki
 from repro.netsim import (
+    Packet,
     Simulator,
     attach_device,
     build_access_network,
@@ -311,3 +322,272 @@ class TestMigrationEpochs:
             assert_host_consistent(host)
             assert host.memory_in_use == 0
             assert host.container_count == 0
+
+
+# -- autoscale rebalancing under the fault DSL (ISSUE-6 satellite) ----------
+#
+# Shared middlebox instances bring a new way for accounting to rot: the
+# autoscaler moves members between instances via full make-before-break
+# migration transactions, any of which can be killed mid-flight by the
+# armed faults.  The invariants below must hold after EVERY op:
+#
+#  * incremental admission counters on every host equal a full rescan
+#    (arbitrary scale-up/down never desyncs them);
+#  * no ACTIVE deployment is fenced out — ``is_current`` holds for its
+#    (lineage, epoch), whatever migrations committed or aborted;
+#  * pool membership hygiene — members reference only ACTIVE
+#    deployments, instances holding members are never RETIRED, and the
+#    total reported load is conserved across rebalancing;
+#  * the migration journal holds no open transaction once recovery ran.
+
+
+def _shared_pvnc(user: str) -> Pvnc:
+    return Pvnc(
+        user=user, name="scale",
+        modules=(ModuleSpec.make("malware_detector",
+                                 allow_physical_reuse=True),),
+        class_rules=(ClassRule("default", ("malware_detector",)),),
+    )
+
+
+def scaling_world(max_members=4):
+    topo = build_access_network()
+    attach_device(topo, "dev_a")
+    hosts = {
+        n: NfvHost(n, HostCapacity(memory_bytes=500_000_000, cpu_cores=16.0))
+        for n in topo.nodes_of_kind("nfv")
+    }
+    optimizer = PlacementOptimizer(
+        topo, hosts, pool=SharedMiddleboxPool(max_members=max_members),
+    )
+    manager = DeploymentManager(provider="isp", topo=topo, hosts=hosts,
+                                optimizer=optimizer)
+    autoscaler = Autoscaler(
+        manager, optimizer, AutoscalePolicy(max_migrations_per_tick=4),
+    )
+    return manager, optimizer, autoscaler
+
+
+SCALE_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["deploy", "teardown", "load_low", "load_high", "tick",
+             "tick_crash", "tick_loss", "tick_silence"]
+        ),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=2,
+    max_size=25,
+)
+
+
+class TestAutoscaleRebalancingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=SCALE_OPS)
+    def test_invariants_hold_under_faulty_rebalancing(self, ops):
+        manager, optimizer, autoscaler = scaling_world()
+        coordinator = ensure_coordinator(manager)
+        env = UserEnvironment()
+        current: dict[str, str] = {}    # user -> surviving deployment id
+        rates: dict[str, float] = {}    # user -> last reported load
+        users = 0
+        clock = 0.0
+
+        def deployment_of(user):
+            for d in manager.deployments.values():
+                if d.user == user and d.state is DeploymentState.ACTIVE:
+                    return d
+            return None
+
+        for op, pick in ops:
+            clock += 1.0
+            if op == "deploy":
+                user = f"u{users}"
+                users += 1
+                pvnc = _shared_pvnc(user)
+                request = DeploymentRequest(
+                    device_id=f"{user}:mac", offer_id=1, pvnc=pvnc,
+                    accepted_services=pvnc.used_services(), payment=1.0,
+                )
+                ack = manager.deploy(request, env, "ap0", now=clock)
+                if isinstance(ack, DeploymentAck):
+                    current[user] = ack.deployment_id
+                    rates[user] = 0.0
+            elif op == "teardown" and current:
+                user = sorted(current)[pick % len(current)]
+                manager.teardown(current.pop(user))
+                rates.pop(user)
+            elif op in ("load_low", "load_high") and current:
+                user = sorted(current)[pick % len(current)]
+                rate = 30.0 if op == "load_low" else 400.0
+                optimizer.report_load(current[user], rate, now=clock)
+                rates[user] = rate
+            elif op.startswith("tick") and current:
+                if op == "tick_crash":
+                    coordinator.arm_target_crash(count=pick % 3 + 1)
+                elif op == "tick_loss":
+                    coordinator.arm_transfer_loss(count=pick % 3 + 1)
+                elif op == "tick_silence":
+                    coordinator.arm_commit_silence(duration=0.5)
+                autoscaler.tick(clock)
+                # A commit silence leaves the transaction pending;
+                # recovery must roll it forward deterministically.
+                coordinator.recover(clock + 2.0)
+                clock += 2.0
+                # Migrations retire old ids: re-point each user at
+                # their surviving deployment and refresh telemetry
+                # (a rolled-forward commit lands the member with zero
+                # load until the next report — as in production, where
+                # load reports arrive periodically from the datapath).
+                for user in list(current):
+                    deployment = deployment_of(user)
+                    assert deployment is not None, (
+                        f"{user} lost their PVN during rebalancing"
+                    )
+                    current[user] = deployment.deployment_id
+                    optimizer.report_load(current[user], rates[user],
+                                          now=clock)
+
+            # -- the invariants, after every op ---------------------------
+            for host in manager.hosts.values():
+                assert_host_consistent(host)
+            for deployment in manager.deployments.values():
+                if deployment.state is DeploymentState.ACTIVE:
+                    assert coordinator.fencing.is_current(
+                        deployment.lineage_id, deployment.epoch
+                    ), f"ACTIVE {deployment.deployment_id} is fenced out"
+            active_ids = {
+                d.deployment_id for d in manager.deployments.values()
+                if d.state is DeploymentState.ACTIVE
+            }
+            for instance in optimizer.pool.instances.values():
+                if instance.members:
+                    assert instance.state is not InstanceState.RETIRED
+                for member in instance.members:
+                    assert member in active_ids, (
+                        f"{instance.instance_id} holds stale member "
+                        f"{member}"
+                    )
+            # Load conservation: every reported unit of load is still
+            # attached to exactly one live instance.
+            pool_load = sum(
+                i.load for i in optimizer.pool.instances.values()
+                if i.state is not InstanceState.RETIRED
+            )
+            assert pool_load == pytest.approx(sum(rates.values()))
+            assert coordinator.journal.open_transactions() == []
+
+    def test_commit_silence_rolled_forward_keeps_membership_coherent(self):
+        """Deterministic cover for the nastiest interleaving: a
+        rebalancing migration whose coordinator goes silent at COMMIT.
+        Recovery must roll it forward (the intent was journaled), the
+        user keeps exactly one ACTIVE deployment, and the pool holds
+        exactly one membership for it — no load double-counted against
+        the superseded source."""
+        manager, optimizer, autoscaler = scaling_world()
+        coordinator = ensure_coordinator(manager)
+        env = UserEnvironment()
+        current = {}
+        for i in range(6):
+            pvnc = _shared_pvnc(f"u{i}")
+            request = DeploymentRequest(
+                device_id=f"u{i}:mac", offer_id=1, pvnc=pvnc,
+                accepted_services=pvnc.used_services(), payment=1.0,
+            )
+            ack = manager.deploy(request, env, "ap0", now=0.0)
+            assert isinstance(ack, DeploymentAck)
+            current[f"u{i}"] = ack.deployment_id
+            optimizer.report_load(ack.deployment_id, 400.0)
+
+        coordinator.arm_commit_silence(duration=0.5)
+        autoscaler.tick(1.0)
+        recovered = coordinator.recover(3.0)
+        assert any(action == "rolled_forward" for _, action, _ in recovered)
+        assert coordinator.journal.open_transactions() == []
+
+        active = [d for d in manager.deployments.values()
+                  if d.state is DeploymentState.ACTIVE]
+        assert len(active) == 6         # one PVN per user, no orphans
+        active_ids = {d.deployment_id for d in active}
+        for deployment in active:
+            memberships = optimizer.pool.memberships(
+                deployment.deployment_id
+            )
+            assert len(memberships) == 1
+            assert coordinator.fencing.is_current(
+                deployment.lineage_id, deployment.epoch
+            )
+        for instance in optimizer.pool.instances.values():
+            for member in instance.members:
+                assert member in active_ids
+        for host in manager.hosts.values():
+            assert_host_consistent(host)
+
+
+class TestMigrationWindowPacketConservation:
+    def test_every_packet_processed_exactly_once_across_the_window(self):
+        """Walk one rebalancing migration phase by phase and account
+        for every packet: before COMMIT the source owns the traffic
+        (serving, then bridging through the transfer freeze); after
+        COMMIT the fence flips ownership atomically to the target —
+        at no phase is a packet double-processed or silently lost."""
+        manager, optimizer, _ = scaling_world()
+        env = UserEnvironment()
+        pvnc = _shared_pvnc("alice")
+        request = DeploymentRequest(
+            device_id="alice:mac", offer_id=1, pvnc=pvnc,
+            accepted_services=pvnc.used_services(), payment=1.0,
+        )
+        ack = manager.deploy(request, env, "ap0", now=0.0)
+        assert isinstance(ack, DeploymentAck)
+        source = manager.deployment(ack.deployment_id)
+        coordinator = ensure_coordinator(manager)
+
+        def send(datapath, now):
+            return datapath.process(
+                Packet(src="10.0.0.1", dst="1.1.1.1", owner="alice"),
+                now=now,
+            )
+
+        txn = coordinator.begin(ack.deployment_id, "dev_a", 1.0)
+
+        # PREPARE: make-before-break — the source serves untouched.
+        assert txn.prepare(1.0)
+        outcome = send(source.datapath, 1.1)
+        assert outcome.verdict_reasons != ("fencing:stale_epoch",)
+        assert source.datapath.packets_processed == 1
+
+        # TRANSFER: chain frozen for checkpointing, packets ride the
+        # bridge — still processed (tunneled), never dropped.
+        assert txn.transfer(2.0)
+        assert source.datapath.bridging_to != ""
+        bridged = send(source.datapath, 2.1)
+        assert "migrating:bridge" in bridged.verdict_reasons
+        assert source.datapath.packets_processed == 2
+
+        # COMMIT: the epoch fence flips ownership atomically.
+        assert txn.commit(3.0)
+        target = manager.deployment(txn.target_id)
+        assert target.state is DeploymentState.ACTIVE
+
+        stale = send(source.datapath, 3.1)
+        assert stale.verdict_reasons == ("fencing:stale_epoch",)
+        assert source.datapath.packets_processed == 2    # unchanged
+        assert source.datapath.stale_rejections == 1
+
+        delivered = send(target.datapath, 3.2)
+        assert delivered.verdict_reasons != ("fencing:stale_epoch",)
+        assert target.datapath.packets_processed == 1
+
+        # Conservation: 4 packets sent; 3 processed (each by exactly
+        # one datapath), 1 fenced with evidence — none unaccounted.
+        total = (source.datapath.packets_processed
+                 + target.datapath.packets_processed)
+        assert total == 3
+        assert len(coordinator.fencing.rejections) == 1
+        # And the shared-pool membership moved with the traffic.
+        assert optimizer.pool.memberships(ack.deployment_id) == []
+        assert [i.service for i in optimizer.pool.memberships(
+            txn.target_id)] == ["malware_detector"]
+        for host in manager.hosts.values():
+            assert_host_consistent(host)

@@ -26,6 +26,8 @@ FAST_PARAMS = {
     "E7": dict(n_queries=100),
     "E8": dict(n_clicks=40),
     "F1C": dict(n_flows=100, fractions=(0.0, 0.5, 1.0)),
+    "E19": dict(sweep=((40, 6.0), (80, 8.0)), flash_crowd_users=12,
+                autoscale_ticks=6),
 }
 
 
