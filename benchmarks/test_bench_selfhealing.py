@@ -1,0 +1,51 @@
+"""Self-healing benches (E20, DESIGN.md §12).
+
+The ISSUE-7 acceptance bar, asserted on one full chaos-soak replay:
+
+* after two seeded host crashes the reconciler restores **100 %** of
+  deployments — every auditor probe traverses the user's full declared
+  chain, zero policy-bypass packets;
+* partition and heartbeat loss cause **zero** false evacuations;
+* the reported p99 repair time is bounded;
+* under the re-attach flash crowd, admission control protects goodput
+  by at least **2x** over the unprotected run while critical recovery
+  traffic is never shed.
+"""
+
+from repro.experiments import exp20_selfhealing
+
+#: Repair p99 must stay within a handful of reconcile intervals of the
+#: crash (detection ~0.35 s + one budgeted evacuation wave).
+REPAIR_P99_BOUND_S = 2.0
+
+
+def test_bench_e20_selfhealing(run_once):
+    result = run_once(exp20_selfhealing.run)
+    m = result.metrics
+
+    # Everyone deployed, everyone restored, nobody slipped the chain.
+    assert m["deploy_nacks"] == 0.0, m
+    assert m["restored_fraction"] == 1.0, m
+    assert m["policy_bypass_packets"] == 0.0, m
+    assert m["missing_deployments"] == 0.0, m
+
+    # Both crashed hosts were drained through journaled evacuations;
+    # lost container state came back from the replicator.
+    assert m["evacuations"] > 0.0, m
+    assert m["replica_restores"] > 0.0, m
+    assert m["degraded"] == 0.0, m
+
+    # The partition/slow-host signals never triggered an evacuation.
+    assert m["partition_deferrals"] >= 1.0, m
+    assert m["false_evacuations"] == 0.0, m
+
+    # Convergence and bounded repair latency.
+    assert m["converged"] == 1.0, m
+    assert 0.0 < m["repair_p99_s"] < REPAIR_P99_BOUND_S, m
+
+    # Flash-crowd protection: goodput >= 2x unprotected (acceptance
+    # bar), with shedding doing real work and critical traffic immune.
+    assert m["goodput_ratio"] >= 2.0, m
+    assert m["goodput_protected"] > m["goodput_unprotected"], m
+    assert m["crowd_shed"] > 0.0, m
+    assert m["critical_served_rate"] == 1.0, m

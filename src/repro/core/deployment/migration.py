@@ -235,6 +235,7 @@ class MigrationResult:
     epoch: int = 0
     state_bytes: int = 0           # checkpoint bytes shipped
     restored_services: tuple[str, ...] = ()
+    replica_services: tuple[str, ...] = ()   # restored from replica, not live
     handoff_time: float = 0.0      # prepare + transfer + commit on the clock
     transfer_attempts: int = 0
 
@@ -286,6 +287,12 @@ class MigrationTransaction:
         self.target_hosts: dict[str, str] = {}
         self.target_datapath: PvnDataPath | None = None
         self.checkpoints: dict[str, ContainerCheckpoint] = {}
+        # Stale-but-consistent snapshots from the reconciler's state
+        # replicator; they stand in for services whose live containers
+        # died with their host (crash evacuation).  A live checkpoint
+        # always wins over a replica.
+        self.replica_checkpoints: dict[str, ContainerCheckpoint] = {}
+        self.replica_services: tuple[str, ...] = ()
         self.target_deployment: Deployment | None = None
         self.journal.append(started_at, txn_id, REC_BEGIN,
                             f"{source.deployment_id} -> {new_device_node}")
@@ -431,6 +438,18 @@ class MigrationTransaction:
                                        ContainerState.INSTANTIATING):
                 continue    # crashed state is unrecoverable; ship the rest
             self.checkpoints[service] = container.checkpoint(self.clock)
+        # Crash evacuation: services whose containers died with their
+        # host restore from the replicator's last snapshot instead —
+        # stale-but-consistent beats lost.
+        replicated: list[str] = []
+        for service, checkpoint in sorted(self.replica_checkpoints.items()):
+            if service in self.checkpoints:
+                continue
+            if service not in self.target_containers:
+                continue
+            self.checkpoints[service] = checkpoint
+            replicated.append(service)
+        self.replica_services = tuple(replicated)
         self.state_bytes = sum(
             c.size_bytes for c in self.checkpoints.values()
         )
@@ -687,6 +706,7 @@ class MigrationTransaction:
             state_bytes=self.state_bytes,
             restored_services=tuple(sorted(self.checkpoints))
             if committed else (),
+            replica_services=self.replica_services if committed else (),
             handoff_time=self.clock - self.started_at,
             transfer_attempts=self.transfer_attempts,
         )
@@ -813,6 +833,28 @@ class MigrationCoordinator:
                 now: float) -> MigrationResult:
         """begin + run in one call (the :func:`migrate_device` path)."""
         return self.run(self.begin(deployment_id, new_device_node, now))
+
+    def evacuate(
+        self,
+        deployment_id: str,
+        now: float,
+        replicas: dict[str, ContainerCheckpoint] | None = None,
+        device_node: str | None = None,
+    ) -> MigrationResult:
+        """Move a deployment off a crashed host, same journal, same
+        fencing, same make-before-break discipline as a roaming
+        migration — the device just isn't going anywhere.
+
+        ``replicas`` (service -> checkpoint) substitute for containers
+        that died with the host; services covered by neither a live
+        container nor a replica restart from factory state inside the
+        fresh target chain, which still beats losing the policy.
+        """
+        source = self.manager.deployment(deployment_id)
+        node = device_node or source.embedding.device_node
+        txn = self.begin(deployment_id, node, now)
+        txn.replica_checkpoints = dict(replicas or {})
+        return self.run(txn)
 
     def _charge_sim(self, txn: MigrationTransaction) -> None:
         """Charge the handoff wall-time on the simulator clock.

@@ -311,6 +311,29 @@ class SharedMiddleboxPool:
         self.retires += 1
         return True
 
+    def fail_node(self, node: str) -> list[str]:
+        """A host died: retire every instance on ``node`` in place.
+
+        Unlike :meth:`retire` this takes no care of the container (it
+        crashed with the host) and does not require emptiness — the
+        members lost their instance, which is precisely the point.
+        Returns the sorted deployment ids that were members of any
+        failed instance, so the reconciler knows who to re-place; the
+        optimizer will never re-join a retired instance
+        (:meth:`joinable` filters on ACTIVE).
+        """
+        affected: set[str] = set()
+        for _, instance in sorted(self.instances.items()):
+            if instance.node != node:
+                continue
+            if instance.state is InstanceState.RETIRED:
+                continue
+            affected.update(instance.members)
+            instance.members.clear()
+            instance.state = InstanceState.RETIRED
+            self.retires += 1
+        return sorted(affected)
+
     def stats(self) -> dict[str, int]:
         active = [i for i in self.instances.values()
                   if i.state is not InstanceState.RETIRED]

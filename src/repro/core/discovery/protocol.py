@@ -82,6 +82,13 @@ class DiscoveryService:
     silent_until: float = 0.0     # fault injection: unresponsive until t
     drop_next_dms: int = 0        # fault injection: network eats N DMs
     dms_unanswered: int = 0
+    #: Optional overload protection (:class:`repro.health.overload.
+    #: AdmissionController`): when set, DMs above the shedding floor
+    #: for their priority class are refused up front instead of
+    #: consuming a negotiation slot.  None (the default) keeps the
+    #: seed behaviour: every DM is served.
+    admission: object | None = None
+    dms_shed: int = 0
 
     def __post_init__(self) -> None:
         if not self.deployment_server:
@@ -111,6 +118,17 @@ class DiscoveryService:
         """
         self.dms_received += 1
         _count_discovery("dm_received", self.provider)
+        if self.admission is not None and not self.admission.admit(
+            now, getattr(dm, "priority", 2)
+        ):
+            # Shed, not dropped: the provider chose to refuse this DM
+            # to protect in-flight work.  To the device it still looks
+            # like a timeout (retry/backoff applies), but the provider
+            # paid ~nothing for it.
+            self.dms_shed += 1
+            self.dms_unanswered += 1
+            _count_discovery("dm_shed", self.provider)
+            return None
         if self.drop_next_dms > 0:
             self.drop_next_dms -= 1
             self.dms_unanswered += 1
@@ -215,6 +233,7 @@ class DiscoveryClient:
         now: float,
         policy: RetryPolicy,
         rng: "np.random.Generator | None" = None,
+        breaker=None,
     ) -> tuple[list[Offer], RetryTrace]:
         """Flood with per-request timeouts and capped backoff.
 
@@ -224,15 +243,32 @@ class DiscoveryClient:
         the first non-empty offer batch plus a :class:`RetryTrace`
         whose ``waited`` is the virtual time burned — callers advance
         their clock by it.
+
+        With a ``breaker`` (:class:`repro.health.overload.
+        CircuitBreaker`) each attempt first asks the breaker: while it
+        is OPEN the attempt *fails fast* — no flood, no timeout burned
+        — so a crowd of devices stops hammering a provider that is
+        plainly down, and outcomes feed back into the breaker.
         """
         delays = policy.backoff_schedule(rng)
         trace = RetryTrace(delays=tuple(delays))
         for attempt in range(policy.max_attempts):
             trace.attempts = attempt + 1
+            if breaker is not None and not breaker.allow(now + trace.waited):
+                # Fail fast: skip the flood and the timeout entirely;
+                # only the backoff delay (if any) is paid, keeping the
+                # retry cadence without the network cost.
+                if attempt < policy.max_attempts - 1:
+                    trace.waited += delays[attempt]
+                continue
             offers = self.flood(services, pvnc, estimate, now + trace.waited)
             if offers:
                 trace.succeeded = True
+                if breaker is not None:
+                    breaker.record_success(now + trace.waited)
                 return offers, trace
+            if breaker is not None:
+                breaker.record_failure(now + trace.waited)
             trace.waited += policy.timeout
             if attempt < policy.max_attempts - 1:
                 trace.waited += delays[attempt]

@@ -10,6 +10,17 @@ Two invariants the property suite pins down:
 * the backoff schedule is monotone non-decreasing and never exceeds
   ``max_delay * (1 + jitter)``;
 * total attempts never exceed ``max_attempts``.
+
+With ``full_jitter=True`` the policy instead draws each delay
+uniformly from ``[0, raw_delay]`` (the AWS "full jitter" scheme):
+the monotone invariant is deliberately given up in exchange for
+maximal decorrelation — when a crashed host evicts hundreds of users
+at once, proportional jitter still leaves their retries bunched at
+``~raw_delay``, hammering the recovering provider in waves, whereas
+full jitter spreads the storm across the whole window.  The cap
+invariant (never above ``max_delay``) holds in both modes, and the
+property suite additionally pins the *spread*: seeded full-jitter
+delays cover the window instead of clustering.
 """
 
 from __future__ import annotations
@@ -42,6 +53,10 @@ class RetryPolicy:
         Fraction of each delay added as seeded random jitter in
         ``[0, jitter * delay)`` — decorrelates clients that timed out
         together without ever shrinking the delay.
+    full_jitter:
+        Draw each delay uniformly from ``[0, raw_delay]`` instead
+        (capped exponential, AWS full-jitter style).  Maximal retry
+        decorrelation for flash crowds; gives up monotonicity.
     """
 
     timeout: float = 0.5
@@ -50,6 +65,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 5.0
     jitter: float = 0.1
+    full_jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -78,8 +94,20 @@ class RetryPolicy:
         Jitter is drawn from ``rng`` (no rng, no jitter); a running
         maximum keeps the schedule monotone non-decreasing even when a
         small jitter draw follows a large one near the cap.
+
+        In ``full_jitter`` mode each delay is instead an independent
+        uniform draw over ``[0, raw_delay]`` — no floor, no monotone
+        guarantee, maximal spread (without an rng the schedule
+        degrades to the raw capped-exponential delays).
         """
         delays: list[float] = []
+        if self.full_jitter:
+            for attempt in range(self.max_attempts - 1):
+                delay = self.raw_delay(attempt)
+                if rng is not None:
+                    delay = float(rng.random()) * delay
+                delays.append(delay)
+            return delays
         floor = 0.0
         for attempt in range(self.max_attempts - 1):
             delay = self.raw_delay(attempt)
@@ -91,6 +119,10 @@ class RetryPolicy:
 
     def worst_case_wait(self) -> float:
         """Upper bound on total time burned when every attempt times out."""
+        if self.full_jitter:
+            return (self.max_attempts * self.timeout
+                    + sum(self.raw_delay(i)
+                          for i in range(self.max_attempts - 1)))
         return (self.max_attempts * self.timeout
                 + sum((1 + self.jitter) * self.raw_delay(i)
                       for i in range(self.max_attempts - 1)))

@@ -25,6 +25,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp17_observability,
     exp18_control_plane,
     exp19_orchestration,
+    exp20_selfhealing,
     fig1a,
     fig1b,
     fig1c,
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS = {
     "E17": exp17_observability.run,
     "E18": exp18_control_plane.run,
     "E19": exp19_orchestration.run,
+    "E20": exp20_selfhealing.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -28,7 +28,9 @@ from repro.faults import FaultKind, make_event, normalise_ids
 from repro.netsim.packet import Packet
 
 #: The scripted chaos scenario: three middlebox crashes, two link
-#: flaps, a loss burst, provider silence, and total host failure.
+#: flaps, a loss burst, provider silence, host-level chaos (heartbeat
+#: loss, a control-plane partition, an abrupt host crash), and total
+#: host failure — the full fault taxonomy.
 CHAOS_SCRIPT = """
 # -- phase 1: crashes the provider can repair in place ----------------
 at 1.0 crash tls_validator
@@ -43,9 +45,14 @@ at 2.6 link-up agg ap1
 at 2.7 link-up gw home
 at 2.8 silence duration=0.5
 
-# -- phase 3: unrecoverable — every NFV host dies ---------------------
-at 3.0 host-down nfv0
-at 3.1 host-down nfv1
+# -- phase 3: host-level chaos the health plane must classify ---------
+at 3.0 heartbeat-loss nfv0 count=2     # live host merely looks slow
+at 3.1 partition nfv1 duration=0.3     # window heals; no false eviction
+at 3.5 host-crash nfv1                 # abrupt death: containers + reservations gone
+
+# -- phase 4: unrecoverable — every NFV host dies ---------------------
+at 3.8 host-down nfv0
+at 3.9 host-down nfv1
 """
 
 

@@ -36,6 +36,14 @@ class FaultKind(enum.Enum):
     MIGRATION_TARGET_CRASH = "migration_target_crash"     # during PREPARE
     MIGRATION_TRANSFER_LOSS = "migration_transfer_loss"   # checkpoint lost
     MIGRATION_COMMIT_SILENCE = "migration_commit_silence"  # during COMMIT
+    # Host-level chaos: HOST_CRASH is abrupt death with container and
+    # reservation loss (vs the HOST_DOWN/HOST_UP planned-outage pair);
+    # NETWORK_PARTITION cuts a host off from the control plane without
+    # killing it; HEARTBEAT_LOSS drops health beats so a live host
+    # merely *looks* slow to the failure detector.
+    HOST_CRASH = "host_crash"
+    NETWORK_PARTITION = "network_partition"
+    HEARTBEAT_LOSS = "heartbeat_loss"
 
 
 #: Kinds whose target names a link (two endpoint nodes).

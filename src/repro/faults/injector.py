@@ -82,6 +82,9 @@ class FaultInjector:
             FaultKind.MIGRATION_TARGET_CRASH: self._migration_target_crash,
             FaultKind.MIGRATION_TRANSFER_LOSS: self._migration_transfer_loss,
             FaultKind.MIGRATION_COMMIT_SILENCE: self._migration_commit_silence,
+            FaultKind.HOST_CRASH: self._host_crash,
+            FaultKind.NETWORK_PARTITION: self._partition,
+            FaultKind.HEARTBEAT_LOSS: self._heartbeat_loss,
         }[event.kind]
         detail, deployment_ids = handler(event)
         applied = AppliedFault(
@@ -203,6 +206,41 @@ class FaultInjector:
         duration = event.param("duration", 1.0)
         self._coordinator().arm_commit_silence(duration)
         return f"provider will go silent {duration:g}s at next COMMIT", ()
+
+    # Host-level chaos feeds the health plane (phi-accrual detector +
+    # heartbeats), created lazily like the migration coordinator.
+
+    def _health(self):
+        from repro.health import ensure_health
+
+        return ensure_health(self.provider, self.sim)
+
+    def _host_crash(self, event: FaultEvent):
+        name = event.target[0]
+        host = self.provider.hosts.get(name)
+        if host is None:
+            raise ConfigurationError(f"unknown NFV host {name!r}")
+        self._health()   # make sure the detector was watching
+        touched = tuple(sorted(
+            deployment_id
+            for deployment_id, d in self.provider.manager.deployments.items()
+            if any(getattr(c, "_host", None) is host
+                   for c in d.containers.values())
+        ))
+        count = host.crash(self.sim.now)
+        return f"host {name} crashed ({count} containers lost)", touched
+
+    def _partition(self, event: FaultEvent):
+        target = event.target[0] if event.target else "*"
+        duration = event.param("duration", 1.0)
+        heal = self._health().partition(target, duration, self.sim.now)
+        return f"{target} partitioned from control plane until t={heal:g}", ()
+
+    def _heartbeat_loss(self, event: FaultEvent):
+        name = event.target[0]
+        count = int(event.param("count", 1))
+        self._health().drop_heartbeats(name, count)
+        return f"next {count} heartbeats from {name} will be lost", ()
 
     # -- the event trace --------------------------------------------------
 

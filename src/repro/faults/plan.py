@@ -23,6 +23,10 @@ Three ways to build one:
       at 4.0  migration-target-crash   # target dies during PREPARE
       at 4.0  transfer-loss count=2    # next 2 checkpoint ships lost
       at 4.0  commit-silence duration=0.5   # provider mute at COMMIT
+      # host-level chaos (feeds the repro.health failure detector):
+      at 5.0  host-crash nfv1          # abrupt death, reservations lost
+      at 5.5  partition nfv2 duration=2.0   # cut off from control plane
+      at 6.0  heartbeat-loss nfv0 count=2   # live host looks slow
 
 Experiments declare scripts like the above and hand them to
 :func:`repro.experiments.harness.install_fault_plan`.
@@ -48,6 +52,9 @@ _VERBS = {
     "migration-target-crash": FaultKind.MIGRATION_TARGET_CRASH,
     "transfer-loss": FaultKind.MIGRATION_TRANSFER_LOSS,
     "commit-silence": FaultKind.MIGRATION_COMMIT_SILENCE,
+    "host-crash": FaultKind.HOST_CRASH,
+    "partition": FaultKind.NETWORK_PARTITION,
+    "heartbeat-loss": FaultKind.HEARTBEAT_LOSS,
 }
 
 

@@ -1,0 +1,160 @@
+"""Phi-accrual failure detection.
+
+Binary timeout detectors answer "is the host dead?" with a fixed
+deadline, which makes one detector's false-positive rate hostage to
+the slowest host in the fleet.  The phi-accrual detector (Hayashibara
+et al., SRDS 2004 — the detector inside Cassandra and Akka) instead
+outputs a *suspicion level*::
+
+    phi(t) = -log10( P(no heartbeat gap this long | history) )
+
+computed from the observed inter-arrival distribution of each host's
+own heartbeats.  phi == 1 means a gap this long happens ~10% of the
+time for this host; phi == 8 means one-in-10^8.  Callers pick
+thresholds per decision: a cheap action (stop routing new work) at a
+low phi, an expensive one (evacuate every deployment) at a high phi.
+
+The tail probability uses a normal approximation of the inter-arrival
+distribution — ``0.5 * erfc((gap - mean) / (std * sqrt(2)))`` — with a
+floored standard deviation so a perfectly regular simulated heartbeat
+stream doesn't divide by zero.  Everything runs on the simulation
+clock; no wall time anywhere.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+import math
+
+from repro.errors import ConfigurationError
+
+
+class HostState(enum.Enum):
+    """The detector's verdict about one host."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"    # stop placing new work here
+    DEAD = "dead"          # evacuate
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorPolicy:
+    """Thresholds and window shape for :class:`PhiAccrualDetector`."""
+
+    #: Sliding window of inter-arrival samples per host.
+    window: int = 32
+    #: phi at which a host becomes SUSPECT (~1-in-10^suspect gap).
+    suspect_phi: float = 1.0
+    #: phi at which a host is declared DEAD.
+    dead_phi: float = 8.0
+    #: Expected heartbeat interval, used to seed the window before
+    #: enough real samples arrive (bootstrap mean).
+    expected_interval: float = 0.1
+    #: Lower bound on the modelled std-dev, as a fraction of the mean.
+    #: Simulated beats are metronome-regular; without a floor the
+    #: normal tail collapses and one late beat reads as DEAD.  The
+    #: default is calibrated so transient heartbeat *loss* stays below
+    #: the death threshold: phi >= 8 needs z ~ 5.62, so DEAD sits at
+    #: mean * (1 + 5.62 * 0.45) ~ 3.5 beat intervals — two dropped
+    #: beats (gap <= 3 intervals, phi peaks ~ 5.3) read as SUSPECT,
+    #: while a genuine crash crosses DEAD half an interval later.
+    min_std_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ConfigurationError("detector window must be >= 2")
+        if not (0 < self.suspect_phi < self.dead_phi):
+            raise ConfigurationError(
+                "need 0 < suspect_phi < dead_phi, got "
+                f"{self.suspect_phi} / {self.dead_phi}"
+            )
+        if self.expected_interval <= 0:
+            raise ConfigurationError("expected_interval must be positive")
+        if self.min_std_fraction <= 0:
+            raise ConfigurationError("min_std_fraction must be positive")
+
+
+class PhiAccrualDetector:
+    """Per-host suspicion levels from heartbeat inter-arrival history."""
+
+    def __init__(self, policy: DetectorPolicy | None = None) -> None:
+        self.policy = policy or DetectorPolicy()
+        self._last_beat: dict[str, float] = {}
+        self._intervals: dict[str, collections.deque[float]] = {}
+        self.beats: dict[str, int] = {}
+
+    # -- ingestion --------------------------------------------------------
+
+    def heartbeat(self, host: str, now: float) -> None:
+        """Record one heartbeat arrival from ``host`` at ``now``."""
+        last = self._last_beat.get(host)
+        if last is not None and now > last:
+            window = self._intervals.setdefault(
+                host, collections.deque(maxlen=self.policy.window)
+            )
+            window.append(now - last)
+        self._last_beat[host] = now
+        self.beats[host] = self.beats.get(host, 0) + 1
+
+    def forget(self, host: str) -> None:
+        """Drop all history for ``host`` (it was decommissioned, or it
+        recovered and should re-earn a fresh arrival distribution)."""
+        self._last_beat.pop(host, None)
+        self._intervals.pop(host, None)
+        self.beats.pop(host, None)
+
+    # -- interrogation ----------------------------------------------------
+
+    def _moments(self, host: str) -> tuple[float, float]:
+        """(mean, floored std) of the host's inter-arrival samples,
+        bootstrapped from the expected interval while the window is
+        thin."""
+        samples = list(self._intervals.get(host, ()))
+        # Pad with the declared interval until we have real history:
+        # a brand-new host shouldn't be un-suspectable just because it
+        # hasn't beaten long enough to build a window.
+        while len(samples) < 2:
+            samples.append(self.policy.expected_interval)
+        mean = sum(samples) / len(samples)
+        variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+        std = max(math.sqrt(variance), self.policy.min_std_fraction * mean)
+        return mean, std
+
+    def phi(self, host: str, now: float) -> float:
+        """Current suspicion level for ``host``.
+
+        A host that has never beaten is maximally unknown: it gets phi
+        0.0 (no evidence of death — it may simply not have started),
+        so monitors must register hosts by sending a first beat.
+        """
+        last = self._last_beat.get(host)
+        if last is None:
+            return 0.0
+        gap = now - last
+        if gap <= 0:
+            return 0.0
+        mean, std = self._moments(host)
+        tail = 0.5 * math.erfc((gap - mean) / (std * math.sqrt(2.0)))
+        if tail <= 0.0:
+            return float("inf")
+        return -math.log10(tail)
+
+    def state_of(self, host: str, now: float) -> HostState:
+        value = self.phi(host, now)
+        if value >= self.policy.dead_phi:
+            return HostState.DEAD
+        if value >= self.policy.suspect_phi:
+            return HostState.SUSPECT
+        return HostState.ALIVE
+
+    def last_heard(self, host: str) -> float | None:
+        return self._last_beat.get(host)
+
+    def snapshot(self, now: float) -> dict[str, HostState]:
+        """State of every host the detector has ever heard from."""
+        return {
+            host: self.state_of(host, now)
+            for host in sorted(self._last_beat)
+        }

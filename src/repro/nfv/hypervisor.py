@@ -55,6 +55,7 @@ class NfvHost:
         self.launches = 0
         self.rejections = 0
         self.alive = True
+        self.crashed = False   # abrupt death (no planned HOST_UP pair)
         self.failures = 0
         # Residual-capacity index: counters maintained by container
         # state transitions (O(1) per attach/detach/migrate) instead of
@@ -219,7 +220,36 @@ class NfvHost:
                 crashed += 1
         return crashed
 
+    def crash(self, now: float = 0.0) -> int:
+        """Abrupt host death: the machine is gone, not merely down.
+
+        Unlike :meth:`fail` (a planned outage that keeps the container
+        table so a later HOST_UP can repair in place), a crash loses
+        every container *and its reservation*: the residual-capacity
+        counters are torn down so a recovered or replacement host
+        starts from a clean accounting slate, and each container's
+        host backref is cleared so a later ``stop()`` on a doomed
+        container cannot double-release capacity it no longer holds.
+
+        Containers are crashed (not silently dropped) before eviction
+        so deployment-layer health checks still observe them as
+        CRASHED through their own references.
+        """
+        self.alive = False
+        self.crashed = True
+        self.failures += 1
+        evicted = 0
+        for container in list(self._containers.values()):
+            if container.state is not ContainerState.STOPPED:
+                container.crash(now)
+                self._charge(container, -1)
+                evicted += 1
+            container._host = None
+        self._containers.clear()
+        return evicted
+
     def recover(self) -> None:
         """The host comes back; crashed containers stay crashed until
         the deployment layer restarts them."""
         self.alive = True
+        self.crashed = False

@@ -512,3 +512,82 @@ class TestEpochMonotonicity:
         assert minted == list(range(1, commits + 1))
         assert coordinator.fencing.current(lineage) == commits
         assert coordinator.journal.open_transactions() == []
+
+
+# -- property: crash-recovery idempotency -----------------------------------
+
+
+class TestRecoveryIdempotencyProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(cycles=st.lists(
+        st.tuples(st.sampled_from(["silence", "no_intent"]),
+                  st.integers(min_value=1, max_value=3)),
+        min_size=1, max_size=4,
+    ))
+    def test_exactly_one_outcome_per_interrupted_migration(self, cycles):
+        """Crash-during-recovery, repeated: every interrupted migration
+        resolves to exactly one outcome no matter how many times
+        ``recover()`` re-runs, the journal never leaks an open
+        transaction, and exactly one deployment serves the user with a
+        conserved container population."""
+        sim = Simulator()
+        topo = build_wide_area(build_access_network())
+        attach_device(topo, "dev_a")
+        attach_device(topo, "dev_b", ap="ap1")
+        hosts = {n: NfvHost(n) for n in topo.nodes_of_kind("nfv")}
+        manager = DeploymentManager(
+            provider="isp", topo=topo, hosts=hosts, sim=sim,
+            dhcp=DhcpServer("10.10.0.0/16", pvn_server="pvn.isp"),
+        )
+        pvnc = default_pvnc()
+        request = DeploymentRequest(
+            device_id="alice:mac", offer_id=1, pvnc=pvnc,
+            accepted_services=pvnc.used_services(), payment=10.0,
+        )
+        ack = manager.deploy(request, make_env(), "dev_a", now=sim.now)
+        assert isinstance(ack, DeploymentAck)
+        coordinator = MigrationCoordinator(manager)
+        baseline = live_container_count(hosts)
+
+        live = ack.deployment_id
+        nodes = ["dev_b", "dev_a"]
+        now = 0.0
+        flips = 0
+        for mode, recovers in cycles:
+            now += 1.0
+            target = nodes[flips % 2]
+            if mode == "silence":
+                # Interrupted after the commit intent hit the journal.
+                coordinator.arm_commit_silence(duration=0.1)
+                result = coordinator.migrate(live, target, now)
+                assert result.pending and not result.committed
+            else:
+                # Interrupted after prepare, before any commit intent.
+                txn = coordinator.begin(live, target, now)
+                assert txn.prepare()
+            open_before = coordinator.journal.open_transactions()
+            assert len(open_before) == 1
+
+            resolutions = []
+            for _ in range(recovers):
+                now += 0.5
+                resolutions.extend(coordinator.recover(now))
+            # Exactly one committed outcome; re-running recovery is
+            # a no-op, never a second roll in either direction.
+            assert len(resolutions) == 1
+            txn_id, action, _ = resolutions[0]
+            assert txn_id == open_before[0]
+            if mode == "silence":
+                assert action == "rolled_forward"
+                flips += 1
+            else:
+                assert action == "rolled_back"
+
+            assert coordinator.journal.open_transactions() == []
+            active = [d for d in manager.deployments.values()
+                      if d.state is DeploymentState.ACTIVE]
+            assert len(active) == 1
+            assert active[0].user == "alice"
+            live = active[0].deployment_id
+            assert live_container_count(hosts) == baseline
+            assert coordinator.recover(now + 0.1) == []

@@ -27,13 +27,16 @@ at 3.5 link-up ap0 agg
 at 4.0 migration-target-crash
 at 4.1 transfer-loss count=2
 at 4.2 commit-silence duration=0.5
+at 5.0 host-crash nfv1
+at 5.5 partition nfv0 duration=2.0
+at 6.0 heartbeat-loss nfv0 count=2
 """
 
 
 class TestDsl:
     def test_parses_every_verb(self):
         plan = parse_fault_plan(SCRIPT)
-        assert len(plan) == 12
+        assert len(plan) == 15
         kinds = [e.kind for e in plan]
         assert set(kinds) == set(FaultKind)
 

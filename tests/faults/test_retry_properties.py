@@ -66,6 +66,81 @@ class TestBackoffSchedule:
                 RetryPolicy(**kwargs)
 
 
+full_jitter_policies = st.builds(
+    RetryPolicy,
+    timeout=st.floats(min_value=0.01, max_value=2.0),
+    max_attempts=st.integers(min_value=2, max_value=8),
+    base_delay=st.floats(min_value=0.01, max_value=1.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=1.0, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    full_jitter=st.just(True),
+)
+
+
+class TestFullJitter:
+    @settings(max_examples=100, deadline=None)
+    @given(policy=full_jitter_policies,
+           seed=st.integers(min_value=0, max_value=2**31))
+    def test_each_delay_within_its_own_window(self, policy, seed):
+        """Full jitter gives up monotonicity but never the cap: every
+        delay is an independent draw from [0, raw_delay(i)]."""
+        rng = np.random.default_rng(seed)
+        schedule = policy.backoff_schedule(rng)
+        assert len(schedule) == policy.max_attempts - 1
+        for i, delay in enumerate(schedule):
+            assert 0.0 <= delay <= policy.raw_delay(i)
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=full_jitter_policies)
+    def test_without_rng_degrades_to_raw_schedule(self, policy):
+        schedule = policy.backoff_schedule(None)
+        assert schedule == [policy.raw_delay(i)
+                            for i in range(policy.max_attempts - 1)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=full_jitter_policies,
+           seed=st.integers(min_value=0, max_value=2**31))
+    def test_worst_case_wait_still_bounds_the_total(self, policy, seed):
+        rng = np.random.default_rng(seed)
+        total = (policy.max_attempts * policy.timeout
+                 + sum(policy.backoff_schedule(rng)))
+        assert total <= policy.worst_case_wait() + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_seeded_draws_spread_across_the_window(self, seed):
+        """The point of the scheme: a fleet of clients retrying after
+        the same failure covers the whole backoff window instead of
+        bunching at raw_delay.  First-delay draws over many seeds must
+        look uniform on [0, base_delay]: both halves populated, sample
+        mean near the midpoint."""
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0,
+                             max_attempts=2, full_jitter=True)
+        draws = np.array([
+            policy.backoff_schedule(np.random.default_rng(seed + i))[0]
+            for i in range(400)
+        ])
+        assert draws.min() < 0.25
+        assert draws.max() > 0.75
+        assert 0.4 < draws.mean() < 0.6
+        assert draws.std() > 0.2          # not clustered anywhere
+
+    def test_spread_beats_proportional_jitter(self):
+        """Proportional jitter leaves a fleet bunched near raw_delay;
+        full jitter spreads the same fleet ~3x wider."""
+        kwargs = dict(base_delay=1.0, multiplier=1.0, max_attempts=2,
+                      jitter=0.1)
+        proportional = RetryPolicy(**kwargs)
+        full = RetryPolicy(**kwargs, full_jitter=True)
+        seeds = [np.random.default_rng(s) for s in range(200)]
+        prop = np.array([proportional.backoff_schedule(r)[0]
+                         for r in seeds])
+        seeds = [np.random.default_rng(s) for s in range(200)]
+        spread = np.array([full.backoff_schedule(r)[0] for r in seeds])
+        assert spread.std() > 3 * prop.std()
+
+
 class TestRetriedFlood:
     @settings(max_examples=15, deadline=None)
     @given(
