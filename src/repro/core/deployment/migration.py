@@ -598,12 +598,13 @@ class MigrationTransaction:
                 pvn_id=self.target_id,
             )
             manager.controller.remove_pvn(source.deployment_id)
-            # Epoch-fence the microflow cache: rule install/removal
-            # already flushed it, but advancing the fence token makes
+            # Epoch-fence both cache tiers: rule install/removal
+            # already flushed them, but advancing the fence token makes
             # the cutover invalidation explicit and unconditional — a
             # cached pipeline compiled against the superseded source
-            # can never serve post-cutover traffic.
-            switch.flow_cache.fence((lineage, epoch), now=self.clock)
+            # can never serve post-cutover traffic from the microflow
+            # or the megaflow tier.
+            switch.fence((lineage, epoch), now=self.clock)
 
         # 5. Addresses and funding follow the surviving deployment.
         if manager.dhcp is not None:

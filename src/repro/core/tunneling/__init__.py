@@ -13,14 +13,20 @@ from repro.core.tunneling.selective import (
     needs_tls_interception,
 )
 from repro.core.tunneling.vpn import (
+    DEFAULT_ENCAP,
     ENCAP_OVERHEAD_BYTES,
+    ENCAP_VARIANTS,
+    EncapSpec,
     FullTunnel,
     TunnelCosts,
     direct_path,
 )
 
 __all__ = [
+    "DEFAULT_ENCAP",
     "ENCAP_OVERHEAD_BYTES",
+    "ENCAP_VARIANTS",
+    "EncapSpec",
     "EndpointCandidate",
     "EndpointScore",
     "FullTunnel",

@@ -27,6 +27,89 @@ ENCAP_OVERHEAD_BYTES = 73
 
 
 @dataclasses.dataclass(frozen=True)
+class EncapSpec:
+    """One calibrated encapsulation variant (cipher x compression).
+
+    ``overhead_bytes`` is per-packet wire overhead from protocol
+    arithmetic (outer IP/UDP plus the cipher's framing: IV/nonce,
+    auth tag or HMAC, packet counter, CBC padding where applicable).
+    CPU costs split the way VPN profiles do: ``cpu_us_per_packet``
+    is the size-independent cost (tun read/write, context switch,
+    framing) and ``cpu_us_per_kib`` the cipher+auth throughput term.
+    ``compression_ratio`` is the expected payload multiplier on mixed
+    traffic (1.0 = off; modern flows are mostly already-compressed,
+    so even LZO only shaves ~10%).  Constants are documented estimates
+    — protocol maths plus published OpenSSL ``speed`` / single-core
+    OpenVPN throughput figures — see DESIGN.md §13 for provenance.
+    """
+
+    name: str
+    overhead_bytes: int
+    cpu_us_per_packet: float = 0.0
+    cpu_us_per_kib: float = 0.0
+    compression_ratio: float = 1.0
+
+    def wire_bytes(self, payload_bytes: int) -> float:
+        """On-the-wire size of one encapsulated payload."""
+        return payload_bytes * self.compression_ratio + self.overhead_bytes
+
+    def cpu_seconds(self, payload_bytes: int) -> float:
+        """Single-core CPU time to encapsulate one payload."""
+        return (self.cpu_us_per_packet
+                + self.cpu_us_per_kib * (payload_bytes / 1024.0)) * 1e-6
+
+    def crypto_bps(self, mtu: int = 1500) -> float:
+        """Payload throughput one encap core sustains at ``mtu``-sized
+        packets (the CPU-side bandwidth cap on tunneled traffic)."""
+        seconds = self.cpu_seconds(mtu)
+        if seconds <= 0.0:
+            return float("inf")
+        return mtu * 8.0 / seconds
+
+    def goodput_fraction(self, mtu: int = 1500) -> float:
+        """Payload fraction of wire bytes at ``mtu``-sized packets."""
+        payload = mtu - self.overhead_bytes
+        return payload / self.wire_bytes(payload)
+
+
+#: Legacy-constant variant: ESP-style AES-128-CBC + HMAC-SHA1 framing
+#: (the seed's 73-byte overhead), modest AES-NI-era CPU cost.  The
+#: default so existing cost models are unchanged.
+ESP_AES_CBC_SHA1 = EncapSpec(
+    name="esp-aes-cbc-sha1", overhead_bytes=ENCAP_OVERHEAD_BYTES,
+    cpu_us_per_packet=20.0, cpu_us_per_kib=1.3,
+)
+
+#: Calibrated cipher/compression menu (OpenVPN UDP data-channel
+#: framing: outer IP 20 + UDP 8 + opcode/peer-id 4 = 32 bytes before
+#: the cipher's contribution).  See DESIGN.md §13 for the arithmetic
+#: and the published figures behind each CPU constant.
+ENCAP_VARIANTS: dict[str, EncapSpec] = {
+    spec.name: spec
+    for spec in (
+        ESP_AES_CBC_SHA1,
+        # 32 + packet-id 4 + GCM tag 16 = 52
+        EncapSpec("aes-128-gcm", 52, 15.0, 0.40),
+        EncapSpec("aes-256-gcm", 52, 15.0, 0.55),
+        # Same AEAD framing; no AES-NI advantage
+        EncapSpec("chacha20-poly1305", 52, 15.0, 0.70),
+        # 32 + IV 8 + HMAC-SHA1 20 + packet-id 4 + ~4 CBC padding = 68;
+        # Blowfish is dog-slow per byte (no hardware support)
+        EncapSpec("bf-cbc-sha1", 68, 20.0, 15.0),
+        # AEAD + LZO: ~2.5 us/KiB compressor, ~10% shave on mixed
+        # traffic, +1 framing byte
+        EncapSpec("aes-128-gcm-lzo", 53, 17.0, 2.90,
+                  compression_ratio=0.9),
+        # Framing only (--cipher none): the floor any variant pays
+        EncapSpec("null", 36, 12.0, 0.0),
+    )
+}
+
+#: Backwards-compatible default for every existing call site.
+DEFAULT_ENCAP = ESP_AES_CBC_SHA1
+
+
+@dataclasses.dataclass(frozen=True)
 class TunnelCosts:
     """The §3.2 cost model for one tunnel."""
 
@@ -34,6 +117,8 @@ class TunnelCosts:
     encap_overhead_bytes: int = ENCAP_OVERHEAD_BYTES
     shaped_to_bps: float = 0.0       # 0 = no shaping of tunneled traffic
     port_blocked: bool = False       # VPN port blocked on this network
+    cpu_us_per_packet: float = 0.0   # single-core encap cost at MTU
+    encap_name: str = DEFAULT_ENCAP.name
 
 
 class FullTunnel:
@@ -47,6 +132,7 @@ class FullTunnel:
         gateway_node: str = "gw",
         shaped_to_bps: float = 0.0,
         port_blocked: bool = False,
+        encap: EncapSpec | str = DEFAULT_ENCAP,
     ) -> None:
         for node in (device_node, endpoint_node, gateway_node):
             if node not in topo.graph:
@@ -57,9 +143,19 @@ class FullTunnel:
         self.gateway_node = gateway_node
         self.shaped_to_bps = shaped_to_bps
         self.port_blocked = port_blocked
+        if isinstance(encap, str):
+            try:
+                encap = ENCAP_VARIANTS[encap]
+            except KeyError:
+                raise TunnelError(
+                    f"unknown encap variant {encap!r} "
+                    f"(have {sorted(ENCAP_VARIANTS)})"
+                ) from None
+        self.encap = encap
 
-    def costs(self) -> TunnelCosts:
-        """Detour RTT vs the direct device->gateway path."""
+    def costs(self, mtu: int = 1500) -> TunnelCosts:
+        """Detour RTT vs the direct device->gateway path, plus the
+        encap variant's per-packet size and CPU costs."""
         direct = self.topo.rtt(self.device_node, self.gateway_node)
         via = (
             self.topo.rtt(self.device_node, self.endpoint_node)
@@ -67,8 +163,11 @@ class FullTunnel:
         )
         return TunnelCosts(
             added_rtt=max(0.0, via - direct),
+            encap_overhead_bytes=self.encap.overhead_bytes,
             shaped_to_bps=self.shaped_to_bps,
             port_blocked=self.port_blocked,
+            cpu_us_per_packet=self.encap.cpu_seconds(mtu) * 1e6,
+            encap_name=self.encap.name,
         )
 
     def effective_path(
@@ -93,6 +192,10 @@ class FullTunnel:
         )
         if self.shaped_to_bps > 0:
             bandwidth = min(bandwidth, self.shaped_to_bps)
+        # A single encap core also caps tunneled throughput: at MTU-
+        # sized packets the cipher's per-packet + per-byte CPU cost
+        # bounds packets/sec regardless of link capacity.
+        bandwidth = min(bandwidth, self.encap.crypto_bps())
         path_loss = 1.0 - (
             (1.0 - self.topo.path_loss_rate(leg1))
             * (1.0 - self.topo.path_loss_rate(leg2))
@@ -103,18 +206,19 @@ class FullTunnel:
         )
 
     def goodput_fraction(self, mtu: int = 1500) -> float:
-        """Payload fraction after encapsulation overhead."""
-        return (mtu - ENCAP_OVERHEAD_BYTES) / mtu
+        """Payload fraction after encapsulation (and compression)."""
+        return self.encap.goodput_fraction(mtu)
 
-    def as_pipeline(self, label: str = "vpn:encap"):
+    def as_pipeline(self, label: str = "vpn:encap", mtu: int = 1500):
         """This tunnel as a terminal redirect Pipeline.
 
         Lets the encap path run through the same
         :class:`~repro.nfv.pipeline.Pipeline` abstraction as chains and
         the PVN datapath: every packet yields a TUNNEL verdict toward
         the tunnel's endpoint node, and the pipeline's throughput
-        counters publish through a Tracer like any other layer.
-        A blocked VPN port fails at build time, same as
+        counters publish through a Tracer like any other layer.  The
+        single step charges the encap variant's per-packet CPU cost as
+        its delay.  A blocked VPN port fails at build time, same as
         :meth:`effective_path`.
         """
         if self.port_blocked:
@@ -127,6 +231,7 @@ class FullTunnel:
         return Pipeline.tunnel(
             f"tunnel/{self.device_node}->{self.endpoint_node}",
             self.endpoint_node, label,
+            delay=self.encap.cpu_seconds(mtu),
         )
 
 

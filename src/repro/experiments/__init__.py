@@ -26,6 +26,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp18_control_plane,
     exp19_orchestration,
     exp20_selfhealing,
+    exp21_megaflow,
     fig1a,
     fig1b,
     fig1c,
@@ -61,6 +62,7 @@ ALL_EXPERIMENTS = {
     "E18": exp18_control_plane.run,
     "E19": exp19_orchestration.run,
     "E20": exp20_selfhealing.run,
+    "E21": exp21_megaflow.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

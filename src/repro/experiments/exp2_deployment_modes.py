@@ -20,7 +20,7 @@ import numpy as np
 from repro.analysis.stats import summarize
 from repro.core.pvnc import compile_pvnc
 from repro.core.session import default_pvnc
-from repro.core.tunneling import FullTunnel, direct_path
+from repro.core.tunneling import ENCAP_VARIANTS, FullTunnel, direct_path
 from repro.experiments.harness import ExperimentResult, main
 from repro.netsim.flows import page_load_time, synth_page
 from repro.netsim.topology import attach_device, build_access_network, build_wide_area
@@ -85,6 +85,17 @@ def run(seed: int = 0, n_pages: int = 12) -> ExperimentResult:
                     "origin", loss_rate=quality.wireless_loss),
                 0.0,
             ),
+            # Legacy cipher (no hardware support): per-packet CPU
+            # charged per object fetch at a nominal 25 KB object
+            # (~18 MTU packets).  The calibrated conclusion — cipher
+            # CPU is noise next to the hairpin RTT — is itself the
+            # paper's point about *where* tunnel overhead lives.
+            "vpn->cloud (bf-cbc)": (
+                FullTunnel(topo, "dev", "cloud",
+                           encap="bf-cbc-sha1").effective_path(
+                    "origin", loss_rate=quality.wireless_loss),
+                18 * ENCAP_VARIANTS["bf-cbc-sha1"].cpu_seconds(1500),
+            ),
         }
         direct_mean = None
         for mode, (path, overhead) in paths.items():
@@ -112,6 +123,12 @@ def run(seed: int = 0, n_pages: int = 12) -> ExperimentResult:
                 mode_key = "pvn"
             key = f"{quality.label.split('-')[0]}_{mode_key}"
             metrics[f"plt_{key}"] = summary.mean
+    # Calibrated encap menu: wire efficiency and the single-core
+    # throughput cap per cipher/compression variant (DESIGN.md §13).
+    for name, spec in sorted(ENCAP_VARIANTS.items()):
+        key = name.replace("-", "_")
+        metrics[f"encap_{key}_goodput"] = spec.goodput_fraction()
+        metrics[f"encap_{key}_core_mbps"] = spec.crypto_bps() / 1e6
     metrics["pvn_vs_direct_well"] = (
         metrics["plt_well_pvn"] / metrics["plt_well_direct"]
     )

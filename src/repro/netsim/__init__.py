@@ -10,6 +10,7 @@ Public surface:
 * :mod:`repro.netsim.flows` — page-load and ABR-video models.
 """
 
+from repro.netsim.batching import TickBatcher
 from repro.netsim.events import Event, EventPriority
 from repro.netsim.link import Link, link_rtt
 from repro.netsim.node import Host, Node, RoutingNode
@@ -58,6 +59,7 @@ __all__ = [
     "RoutingNode",
     "Simulator",
     "TcpParams",
+    "TickBatcher",
     "TokenBucket",
     "Tracer",
     "TransferResult",

@@ -1,4 +1,4 @@
-"""Exact-match microflow cache for the SDN fast path (OVS-style).
+"""Flow caches for the SDN fast path (OVS-style): microflow + megaflow.
 
 A :class:`FlowCache` memoizes, per exact packet key (five-tuple +
 ``owner`` + ingress), the *winning* :class:`~repro.sdn.flowtable.FlowRule`
@@ -8,6 +8,19 @@ compilation; every later packet of the same flow is a dict hit plus a
 direct closure call, so per-packet cost no longer grows with the total
 number of installed PVN rules (§4's "can access ISPs afford a virtual
 network per device?" made O(1) instead of O(rules)).
+
+A :class:`MegaflowCache` sits behind it for the flows the exact-match
+tier cannot help with: the *first* packet of every new five-tuple.
+Instead of one entry per microflow it holds one entry per
+``(wildcard mask, masked key)`` — the minimal match superset derived
+by rule cross-producting (:meth:`~repro.sdn.flowtable.FlowTable.classify`).
+Under flow churn (new ports per connection) every new microflow whose
+masked fields are unchanged hits the megaflow tier and never pays the
+linear scan; the switch's lookup order is microflow -> megaflow ->
+full classification.  Soundness of serving any megaflow hit comes from
+the mask derivation: two packets with equal masked keys provably take
+the identical accept/reject path through the rule table, so whichever
+entry matches first yields the same winner.
 
 Correctness rests on two fences:
 
@@ -42,6 +55,7 @@ from repro.netsim.packet import Packet
 from repro.netsim.trace import Tracer
 from repro.obs import runtime as obs_runtime
 from repro.sdn.flowtable import FlowRule
+from repro.sdn.match import MatchMask
 
 #: What a cache entry executes: the pre-resolved action closure.
 ActionClosure = Callable[[Packet], None]
@@ -144,10 +158,15 @@ class FlowCache:
         if not self.enabled:
             return None
         self.ensure_generation(generation, now=now)
-        entry = self._entries.get(self.key_for(packet, ingress))
+        key = self.key_for(packet, ingress)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
+        # LRU, not FIFO: a hit refreshes the entry's position so hot
+        # long-lived flows survive capacity pressure from bursts of
+        # one-packet flows (which age out from the cold end instead).
+        self._entries.move_to_end(key)
         self.hits += 1
         return entry
 
@@ -159,7 +178,7 @@ class FlowCache:
         generation: int,
         ingress: str = "",
     ) -> CacheEntry:
-        """Memoize one lookup result (evicting FIFO at capacity)."""
+        """Memoize one lookup result (evicting least-recently-used)."""
         entry = CacheEntry(rule=rule, closure=closure, generation=generation)
         if self.enabled:
             while len(self._entries) >= self.capacity:
@@ -213,3 +232,185 @@ class FlowCache:
                 "repro_flowcache_entries",
                 "Live microflow-cache entries", ("cache",),
             ).labels(cache=self.name).set(entries)
+
+
+class MegaflowCache:
+    """Wildcard megaflow tier: one entry per (mask, masked key).
+
+    Entries are produced by :meth:`~repro.sdn.flowtable.FlowTable.classify`
+    — the winner plus the minimal mask whose bits pin the whole
+    accept/reject path of the linear scan — so a hit under *any*
+    stored mask is guaranteed to yield the same winner the full scan
+    would.  Lookup probes each distinct mask in insertion order (the
+    OVS datapath's mask list); the number of distinct masks tracks the
+    number of distinct field-combinations the rule table examines,
+    which is small in practice and reported as a gauge.
+
+    The same two fences as :class:`FlowCache` apply — table-generation
+    (lazy) and epoch token (migration cutovers) — so a megaflow can
+    never serve a stale winner or a superseded closure.  Eviction is
+    LRU across all masks.
+    """
+
+    def __init__(
+        self,
+        name: str = "megaflow",
+        capacity: int = DEFAULT_CAPACITY,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.tracer = tracer
+        self.enabled = True
+        # Lookup stores, one dict per distinct mask, probed in order.
+        self._by_mask: dict[MatchMask, dict[tuple, CacheEntry]] = {}
+        # Recency order over (mask, key) pairs; value is unused.
+        self._lru: "collections.OrderedDict[tuple, None]" = (
+            collections.OrderedDict()
+        )
+        self._generation = 0
+        self._epoch_token: object = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.flushes = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def mask_count(self) -> int:
+        """Distinct wildcard masks currently cached."""
+        return len(self._by_mask)
+
+    # -- invalidation fences ------------------------------------------------
+
+    def ensure_generation(self, generation: int, now: float = 0.0) -> None:
+        """Flush iff the table moved past the cached generation."""
+        if generation != self._generation:
+            self.flush(f"table generation {self._generation} -> {generation}",
+                       now=now)
+            self._generation = generation
+
+    def fence(self, token: object, now: float = 0.0) -> None:
+        """Adopt an epoch-fence token; a change flushes everything."""
+        if token != self._epoch_token:
+            if self._lru:
+                self.flush(f"epoch fence {self._epoch_token!r} -> {token!r}",
+                           now=now)
+            self._epoch_token = token
+
+    def flush(self, reason: str = "", now: float = 0.0) -> int:
+        """Drop every entry (and every mask); returns the count."""
+        dropped = len(self._lru)
+        self._by_mask.clear()
+        self._lru.clear()
+        if dropped:
+            self.invalidations += dropped
+        self.flushes += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "megaflow", self.name, event="flush",
+                invalidated=dropped, reason=reason,
+            )
+        return dropped
+
+    # -- the fast path ------------------------------------------------------
+
+    def get(self, packet: Packet, generation: int,
+            now: float = 0.0) -> CacheEntry | None:
+        """The first megaflow entry matching ``packet``, or None.
+
+        Probes every distinct mask; by the derivation invariant all
+        matching entries agree on the winner, so the first suffices.
+        """
+        if not self.enabled:
+            return None
+        self.ensure_generation(generation, now=now)
+        for mask, store in self._by_mask.items():
+            key = mask.key_for(packet)
+            entry = store.get(key)
+            if entry is not None:
+                self._lru.move_to_end((mask, key))
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        packet: Packet,
+        mask: MatchMask,
+        rule: FlowRule | None,
+        closure: ActionClosure,
+        generation: int,
+    ) -> CacheEntry:
+        """Memoize one classification under its derived mask."""
+        entry = CacheEntry(rule=rule, closure=closure, generation=generation)
+        if self.enabled:
+            while len(self._lru) >= self.capacity:
+                (old_mask, old_key), _ = self._lru.popitem(last=False)
+                store = self._by_mask.get(old_mask)
+                if store is not None:
+                    store.pop(old_key, None)
+                    if not store:
+                        del self._by_mask[old_mask]
+                self.evictions += 1
+            key = mask.key_for(packet)
+            self._by_mask.setdefault(mask, {})[key] = entry
+            self._lru[(mask, key)] = None
+            self.insertions += 1
+        return entry
+
+    # -- observability ------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "flushes": self.flushes,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "entries": len(self._lru),
+            "masks": len(self._by_mask),
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def publish(self, now: float, tracer: Tracer | None = None) -> None:
+        """Emit a counter snapshot (category ``"megaflow"``).
+
+        With observability enabled the totals also fold into the
+        metrics registry (``repro_megaflow_events_total`` plus entry
+        and mask-count gauges) so hit rates ship as CI artifacts.
+        """
+        # Explicit None check: an empty Tracer is falsy (__len__ == 0).
+        sink = tracer if tracer is not None else self.tracer
+        if sink is not None:
+            sink.emit(now, "megaflow", self.name, event="counters",
+                      **self.counters())
+        obs = obs_runtime.current()
+        if obs is not None:
+            totals = self.counters()
+            entries = totals.pop("entries")
+            masks = totals.pop("masks")
+            obs.metrics.fold_totals(
+                "repro_megaflow_events",
+                "Megaflow-cache hit/miss/invalidation totals",
+                ("cache",), {"cache": self.name}, totals, extra_label="event",
+            )
+            gauge = obs.metrics.gauge(
+                "repro_megaflow_entries",
+                "Live megaflow-cache entries", ("cache",),
+            )
+            gauge.labels(cache=self.name).set(entries)
+            obs.metrics.gauge(
+                "repro_megaflow_masks",
+                "Distinct wildcard masks cached", ("cache",),
+            ).labels(cache=self.name).set(masks)

@@ -14,7 +14,7 @@ import itertools
 from repro.errors import ConfigurationError, PolicyConflictError
 from repro.netsim.packet import Packet
 from repro.sdn.actions import Action
-from repro.sdn.match import Match
+from repro.sdn.match import Match, MatchMask, _prefix_len, ip_in_subnet
 
 _rule_ids = itertools.count(1)
 
@@ -116,6 +116,69 @@ class FlowTable:
         if record:
             self.record_miss()
         return None
+
+    def classify(self, packet: Packet) -> tuple[FlowRule | None, MatchMask]:
+        """The winner for ``packet`` plus the minimal wildcard mask.
+
+        Runs the same priority-ordered scan as :meth:`lookup` (stats
+        are *not* recorded — callers account explicitly) while deriving
+        the OVS-style megaflow mask by rule cross-producting: every
+        rule examined before the winner contributes the one field that
+        rejected the packet (:meth:`~repro.sdn.match.Match.mismatch_mask`),
+        and the winner contributes every field it tests
+        (:meth:`~repro.sdn.match.Match.mask`).  Any packet that agrees
+        with this one on all masked bits is rejected by the same
+        earlier rules and accepted by the same winner, so caching
+        ``(mask, masked key) -> winner`` is sound.  On a full-table
+        miss every rule contributes a rejecting field, which makes the
+        negative entry equally sound.
+        """
+        # Single pass, folding the mask union into scalar locals: the
+        # predicate cascade below IS Match.matches + mismatch_mask in
+        # one evaluation (same field order), without allocating a
+        # MatchMask per rejected rule.  The hypothesis equivalence
+        # property pins this loop to the lookup/mismatch_mask spec.
+        src_plen = dst_plen = 0
+        protocol = src_port = dst_port = owner = False
+        for rule in self._rules:
+            m = rule.match
+            if m.protocol is not None and packet.protocol != m.protocol:
+                protocol = True
+                continue
+            if m.src_port is not None and packet.src_port != m.src_port:
+                src_port = True
+                continue
+            if m.dst_port is not None and packet.dst_port != m.dst_port:
+                dst_port = True
+                continue
+            if m.owner is not None and packet.owner != m.owner:
+                owner = True
+                continue
+            if m.src_cidr is not None and not ip_in_subnet(packet.src,
+                                                           m.src_cidr):
+                plen = _prefix_len(m.src_cidr)
+                if plen > src_plen:
+                    src_plen = plen
+                continue
+            if m.dst_cidr is not None and not ip_in_subnet(packet.dst,
+                                                           m.dst_cidr):
+                plen = _prefix_len(m.dst_cidr)
+                if plen > dst_plen:
+                    dst_plen = plen
+                continue
+            wm = m.mask()
+            return rule, MatchMask(
+                src_plen=max(src_plen, wm.src_plen),
+                dst_plen=max(dst_plen, wm.dst_plen),
+                protocol=protocol or wm.protocol,
+                src_port=src_port or wm.src_port,
+                dst_port=dst_port or wm.dst_port,
+                owner=owner or wm.owner,
+            )
+        return None, MatchMask(
+            src_plen=src_plen, dst_plen=dst_plen, protocol=protocol,
+            src_port=src_port, dst_port=dst_port, owner=owner,
+        )
 
     def record_match(self, rule: FlowRule, packet: Packet) -> None:
         """Charge one packet against ``rule``'s match statistics."""

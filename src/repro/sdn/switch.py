@@ -6,13 +6,24 @@ possibly modified — or ``None`` if the chain consumed or dropped it.
 Tunnel actions hand the packet to a registered tunnel encapsulator the
 same way.
 
-The data plane is a two-tier fast path: an exact-match
+The data plane is a three-tier fast path: an exact-match
 :class:`~repro.sdn.flowcache.FlowCache` memoizes the winning rule *and*
-its pre-compiled action closure per microflow, so only the first packet
-of a flow pays the linear table scan and the per-action isinstance
-dispatch.  Cache entries are fenced on the table's generation counter
-(every install/remove invalidates) so cached winners can never go
-stale.
+its pre-compiled action closure per microflow, and a wildcard
+:class:`~repro.sdn.flowcache.MegaflowCache` behind it memoizes the
+minimal match superset per classification decision, so even the first
+packet of a *new* flow usually skips the linear table scan (lookup
+order: microflow -> megaflow -> full classification).  Entries in both
+tiers are fenced on the table's generation counter (every
+install/remove invalidates) and on the migration epoch token
+(:meth:`SdnSwitch.fence`) so cached winners can never go stale.
+
+Bursts can traverse the datapath as one vector: :meth:`process_batch`
+classifies each packet through the same tiers, then executes, grouping
+packets steered into the same service chain so the NFV layer can run
+them through one compiled pipeline invocation
+(:meth:`bind_chain_batch`).  :meth:`enable_tick_batching` coalesces
+same-instant deliveries into such vectors via
+:class:`~repro.netsim.batching.TickBatcher`.
 
 Packet accounting is conservative by construction::
 
@@ -29,11 +40,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
+from repro.netsim.batching import TickBatcher
 from repro.netsim.node import Node
 from repro.obs import runtime as obs_runtime
 from repro.netsim.packet import Packet
 from repro.sdn.actions import Drop, Mirror, Output, SetField, ToChain, Tunnel
-from repro.sdn.flowcache import FlowCache
+from repro.sdn.flowcache import CacheEntry, FlowCache, MegaflowCache
 from repro.sdn.flowtable import FlowTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -42,6 +54,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.trace import Tracer
 
 ChainExecutor = Callable[[Packet, str], Packet | None]
+#: Vector form: one call per burst, results parallel to the inputs
+#: (None = the chain consumed/dropped that packet).
+BatchChainExecutor = Callable[[list[Packet], str], list[Packet | None]]
 TunnelEncap = Callable[[Packet, str], None]
 PacketInHandler = Callable[["SdnSwitch", Packet], None]
 
@@ -57,21 +72,37 @@ class SdnSwitch(Node):
         super().__init__(sim, name)
         self.table = FlowTable(name=f"{name}.table0")
         self.flow_cache = FlowCache(name=f"{name}.cache", tracer=tracer)
+        self.megaflow_cache = MegaflowCache(name=f"{name}.megaflow",
+                                            tracer=tracer)
         self.tracer = tracer
         self._chain_executors: dict[str, ChainExecutor] = {}
+        self._chain_batch_executors: dict[str, BatchChainExecutor] = {}
         self._tunnel_encaps: dict[str, TunnelEncap] = {}
         self._packet_in: PacketInHandler | None = None
+        self._batcher: TickBatcher | None = None
         self.packets_received = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.packets_punted = 0     # table misses handed to the controller
         self.packets_consumed = 0   # left the pipeline via chain/tunnel
+        # Classifications that fell through both cache tiers to the
+        # linear rule scan (E21's headline metric).
+        self.full_classifications = 0
+        self.batches_processed = 0
+        self.batch_packets = 0
 
     # -- control-plane wiring ----------------------------------------------
 
     def bind_chain(self, chain_id: str, executor: ChainExecutor) -> None:
         """Register the executor invoked by ``ToChain(chain_id)``."""
         self._chain_executors[chain_id] = executor
+
+    def bind_chain_batch(self, chain_id: str,
+                         executor: BatchChainExecutor) -> None:
+        """Register the vector executor :meth:`process_batch` hands
+        whole bursts steered into ``chain_id`` (optional; chains
+        without one fall back to the per-packet executor)."""
+        self._chain_batch_executors[chain_id] = executor
 
     def bind_tunnel(self, endpoint: str, encap: TunnelEncap) -> None:
         """Register the encapsulator invoked by ``Tunnel(endpoint)``."""
@@ -82,44 +113,157 @@ class SdnSwitch(Node):
         self._packet_in = handler
 
     def invalidate_cache(self, reason: str = "control-plane") -> int:
-        """Eagerly flush the flow cache (rule pushes, migration cutover)."""
-        return self.flow_cache.flush(reason, now=self.sim.now)
+        """Eagerly flush both cache tiers (rule pushes, cutovers)."""
+        dropped = self.flow_cache.flush(reason, now=self.sim.now)
+        dropped += self.megaflow_cache.flush(reason, now=self.sim.now)
+        return dropped
+
+    def fence(self, token: object, now: float | None = None) -> None:
+        """Adopt an epoch-fence token on both cache tiers.
+
+        Migration cutovers call this so closures compiled against a
+        superseded deployment can never serve post-cutover traffic
+        from either the microflow or the megaflow tier.
+        """
+        at = self.sim.now if now is None else now
+        self.flow_cache.fence(token, now=at)
+        self.megaflow_cache.fence(token, now=at)
+
+    def enable_tick_batching(self, enabled: bool = True) -> None:
+        """Coalesce same-instant deliveries into one datapath vector.
+
+        With batching on, :meth:`receive` buffers packets in a
+        :class:`~repro.netsim.batching.TickBatcher`; all packets
+        arriving at one simulated instant traverse the datapath as a
+        single :meth:`process_batch` call.
+        """
+        self._batcher = (TickBatcher(self.sim, self.process_batch)
+                         if enabled else None)
+
+    @property
+    def tick_batcher(self) -> TickBatcher | None:
+        """The active same-tick batcher (None unless enabled)."""
+        return self._batcher
 
     # -- data plane ----------------------------------------------------------
 
     def receive(self, packet: Packet, link: "Link") -> None:
         super().receive(packet, link)
-        self.process(packet)
+        if self._batcher is not None:
+            self._batcher.add(packet)
+        else:
+            self.process(packet)
+
+    def _classify(self, packet: Packet) -> CacheEntry | None:
+        """The cached entry for ``packet``, filling tiers on demand.
+
+        Lookup order is microflow -> megaflow -> full classification;
+        a megaflow hit is promoted into the microflow tier so the
+        flow's later packets take the exact-match path.  Returns None
+        only when *both* tiers are disabled (the uncached baseline).
+        """
+        table = self.table
+        micro = self.flow_cache
+        mega = self.megaflow_cache
+        now = self.sim.now
+        if micro.enabled:
+            entry = micro.get(packet, table.generation, now=now)
+            if entry is not None:
+                return entry
+        elif not mega.enabled:
+            return None
+        if mega.enabled:
+            entry = mega.get(packet, table.generation, now=now)
+            if entry is None:
+                rule, mask = table.classify(packet)
+                self.full_classifications += 1
+                closure = (self._punt if rule is None
+                           else self._compile_actions(rule.actions))
+                entry = mega.put(packet, mask, rule, closure,
+                                 table.generation)
+        else:
+            rule = table.lookup(packet, record=False)
+            self.full_classifications += 1
+            closure = (self._punt if rule is None
+                       else self._compile_actions(rule.actions))
+            entry = CacheEntry(rule=rule, closure=closure,
+                               generation=table.generation)
+        if micro.enabled:
+            micro.put(packet, entry.rule, entry.closure, table.generation)
+        return entry
 
     def process(self, packet: Packet) -> None:
         """Run ``packet`` through the table and apply the winning rule.
 
-        With the flow cache enabled (the default) the table scan and
-        action compilation happen once per microflow; every packet —
+        With the caches enabled (the default) the table scan and
+        action compilation happen once per megaflow; every packet —
         cached or not — is charged against the winning rule's match
         statistics exactly once.
         """
         self.packets_received += 1
-        table = self.table
-        cache = self.flow_cache
-        if cache.enabled:
-            entry = cache.get(packet, table.generation, now=self.sim.now)
+        entry = self._classify(packet)
+        if entry is None:
+            rule = self.table.lookup(packet)
+            self.full_classifications += 1
+            if rule is None:
+                self._punt(packet)
+                return
+            self.apply_actions(packet, rule.actions)
+            return
+        if entry.rule is None:
+            self.table.record_miss()
+        else:
+            self.table.record_match(entry.rule, packet)
+        entry.closure(packet)
+
+    def process_batch(self, packets: list[Packet]) -> None:
+        """Run a burst through the datapath as one vector.
+
+        Per-packet observable semantics are identical to calling
+        :meth:`process` in order — same winners, same match stats,
+        same drop reasons, same conservation counters.  The batch win
+        is in execution: packets steered into the same service chain
+        are grouped and handed to that chain's vector executor
+        (:meth:`bind_chain_batch`) as one call, so the NFV layer can
+        push them through one compiled pipeline invocation instead of
+        re-entering per packet.  Chain groups execute after the
+        non-chain packets of the burst; packets never reorder *within*
+        a group, and per-packet fates are order-independent.
+        """
+        chain_groups: dict[tuple[str, str], tuple[ToChain, list[Packet]]] = {}
+        batch_executors = self._chain_batch_executors
+        for packet in packets:
+            self.packets_received += 1
+            entry = self._classify(packet)
             if entry is None:
-                rule = table.lookup(packet, record=False)
-                closure = (self._punt if rule is None
-                           else self._compile_actions(rule.actions))
-                entry = cache.put(packet, rule, closure, table.generation)
-            if entry.rule is None:
-                table.record_miss()
+                rule = self.table.lookup(packet)
+                self.full_classifications += 1
+                if rule is None:
+                    self._punt(packet)
+                else:
+                    self.apply_actions(packet, rule.actions)
+                continue
+            rule = entry.rule
+            if rule is None:
+                self.table.record_miss()
+                entry.closure(packet)
+                continue
+            self.table.record_match(rule, packet)
+            first = rule.actions[0]
+            if (batch_executors and isinstance(first, ToChain)
+                    and first.chain_id in batch_executors):
+                key = (first.chain_id, first.resume_neighbor)
+                group = chain_groups.get(key)
+                if group is None:
+                    chain_groups[key] = (first, [packet])
+                else:
+                    group[1].append(packet)
             else:
-                table.record_match(entry.rule, packet)
-            entry.closure(packet)
-            return
-        rule = table.lookup(packet)
-        if rule is None:
-            self._punt(packet)
-            return
-        self.apply_actions(packet, rule.actions)
+                entry.closure(packet)
+        for action, group in chain_groups.values():
+            self._run_chain_batch(group, action)
+        self.batches_processed += 1
+        self.batch_packets += len(packets)
 
     def apply_actions(self, packet: Packet, actions: tuple) -> None:
         """Apply an action list directly (uncached slow path)."""
@@ -275,6 +419,30 @@ class SdnSwitch(Node):
             # next); the switch's pipeline is done with it.
             self.packets_consumed += 1
 
+    def _run_chain_batch(self, packets: list[Packet],
+                         action: ToChain) -> None:
+        """Vector counterpart of :meth:`_run_chain`.
+
+        One executor call for the whole group; per-packet outcome
+        handling (consumed vs resumed, out-of-band chain delay) is
+        identical to the scalar path.
+        """
+        executor = self._chain_batch_executors[action.chain_id]
+        results = executor(packets, action.chain_id)
+        resume = action.resume_neighbor
+        for result in results:
+            if result is None:
+                self.packets_consumed += 1
+            elif resume:
+                self.packets_forwarded += 1
+                delay = float(result.metadata.pop("chain_delay", 0.0))
+                if delay > 0:
+                    self.sim.schedule(delay, self.send, result, resume)
+                else:
+                    self.send(result, via=resume)
+            else:
+                self.packets_consumed += 1
+
     def _run_tunnel(self, packet: Packet, action: Tunnel) -> None:
         encap = self._tunnel_encaps.get(action.endpoint)
         if encap is None:
@@ -321,4 +489,21 @@ class SdnSwitch(Node):
                 "forwarded + dropped + punted + consumed)",
                 ("switch",), {"switch": self.name}, self.counters(),
             )
+            obs.metrics.fold_totals(
+                "repro_switch_classifications",
+                "Classifications that fell through every cache tier to "
+                "the linear rule scan",
+                ("switch",), {"switch": self.name},
+                {"full": self.full_classifications},
+            )
+            if self.batches_processed:
+                obs.metrics.fold_totals(
+                    "repro_switch_batches",
+                    "Datapath vector executions and the packets they "
+                    "carried",
+                    ("switch",), {"switch": self.name},
+                    {"batches": self.batches_processed,
+                     "packets": self.batch_packets},
+                )
         self.flow_cache.publish(now, tracer=sink)
+        self.megaflow_cache.publish(now, tracer=sink)

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.core.tunneling import (
+    DEFAULT_ENCAP,
+    ENCAP_VARIANTS,
+    EncapSpec,
     EndpointCandidate,
     FullTunnel,
     RedirectRule,
@@ -66,6 +69,66 @@ class TestFullTunnel:
     def test_unknown_node_rejected(self, topo):
         with pytest.raises(TunnelError):
             FullTunnel(topo, "dev", "mars")
+
+
+class TestEncapSpecs:
+    def test_default_preserves_legacy_cost_model(self, topo):
+        costs = FullTunnel(topo, "dev", "cloud").costs()
+        assert costs.encap_overhead_bytes == 73
+        assert costs.encap_name == DEFAULT_ENCAP.name
+
+    def test_variant_selectable_by_name(self, topo):
+        tunnel = FullTunnel(topo, "dev", "cloud", encap="aes-128-gcm")
+        assert tunnel.costs().encap_overhead_bytes == 52
+
+    def test_unknown_variant_rejected(self, topo):
+        with pytest.raises(TunnelError, match="unknown encap"):
+            FullTunnel(topo, "dev", "cloud", encap="rot13")
+
+    def test_cpu_cost_splits_per_packet_and_per_byte(self):
+        spec = EncapSpec("x", 52, cpu_us_per_packet=10.0,
+                         cpu_us_per_kib=2.0)
+        assert spec.cpu_seconds(1024) == pytest.approx(12e-6)
+        # Per-packet term dominates small packets.
+        assert spec.cpu_seconds(0) == pytest.approx(10e-6)
+
+    def test_crypto_bps_caps_path_when_below_link_rate(self, topo):
+        baseline = FullTunnel(topo, "dev", "cloud").effective_path("origin")
+        # A cipher slow enough that one encap core falls below the
+        # access link's 40 Mbps caps the tunnel; every real variant in
+        # the menu sustains 100s of Mbps and leaves links the binding
+        # constraint.
+        glacial = EncapSpec("glacial", 68, cpu_us_per_packet=50.0,
+                            cpu_us_per_kib=400.0)
+        capped = FullTunnel(topo, "dev", "cloud",
+                            encap=glacial).effective_path("origin")
+        assert capped.bandwidth_bps < baseline.bandwidth_bps
+        assert capped.bandwidth_bps == pytest.approx(glacial.crypto_bps())
+        for spec in ENCAP_VARIANTS.values():
+            assert spec.crypto_bps() > baseline.bandwidth_bps
+
+    def test_compression_improves_goodput(self):
+        plain = ENCAP_VARIANTS["aes-128-gcm"]
+        lzo = ENCAP_VARIANTS["aes-128-gcm-lzo"]
+        assert lzo.goodput_fraction() > plain.goodput_fraction()
+        # ...at a CPU price.
+        assert lzo.cpu_seconds(1500) > plain.cpu_seconds(1500)
+
+    def test_goodput_ordering_tracks_framing_size(self):
+        null = ENCAP_VARIANTS["null"]
+        aead = ENCAP_VARIANTS["aes-128-gcm"]
+        legacy = ENCAP_VARIANTS["bf-cbc-sha1"]
+        assert (null.goodput_fraction() > aead.goodput_fraction()
+                > legacy.goodput_fraction())
+
+    def test_encap_pipeline_charges_cpu_as_delay(self, topo):
+        tunnel = FullTunnel(topo, "dev", "cloud", encap="bf-cbc-sha1")
+        pipeline = tunnel.as_pipeline()
+        result = pipeline.run(
+            pkt(), pipeline.context(0.0, "alice"))
+        assert result.tunnel_endpoint == "cloud"
+        assert result.added_delay == pytest.approx(
+            tunnel.encap.cpu_seconds(1500))
 
 
 class TestSelectiveRedirection:

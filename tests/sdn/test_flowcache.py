@@ -200,16 +200,34 @@ class TestInvalidation:
         switch.flow_cache.fence(("lineage", 2))   # advance: flush again
         assert len(switch.flow_cache) == 0
 
-    def test_capacity_eviction_is_fifo_and_counted(self):
+    def test_capacity_eviction_is_lru_and_counted(self):
         cache = FlowCache(capacity=2)
-        for port in (1, 2, 3):
-            packet = flow_pkt(dst_port=port)
-            cache.put(packet, None, lambda p: None, generation=0)
+        for port in (1, 2):
+            cache.put(flow_pkt(dst_port=port), None, lambda p: None,
+                      generation=0)
+        # Touch port 1: under LRU it becomes most-recent and survives
+        # the next eviction; under FIFO it would be the one evicted.
+        assert cache.get(flow_pkt(dst_port=1), generation=0) is not None
+        cache.put(flow_pkt(dst_port=3), None, lambda p: None, generation=0)
         assert len(cache) == 2
         assert cache.evictions == 1
-        # The oldest key (port 1) was the one evicted.
-        assert cache.get(flow_pkt(dst_port=1), generation=0) is None
+        assert cache.get(flow_pkt(dst_port=2), generation=0) is None
+        assert cache.get(flow_pkt(dst_port=1), generation=0) is not None
         assert cache.get(flow_pkt(dst_port=3), generation=0) is not None
+
+    def test_hot_flow_survives_one_shot_flow_pressure(self):
+        # The LRU regression guard: a long-lived flow interleaved with
+        # a stream of one-packet flows larger than capacity must keep
+        # hitting the cache (FIFO would age it out every cycle).
+        cache = FlowCache(capacity=8)
+        hot = flow_pkt(dst_port=443)
+        cache.put(hot, None, lambda p: None, generation=0)
+        for port in range(1000, 1032):          # 4x capacity of churn
+            assert cache.get(hot, generation=0) is not None
+            cache.put(flow_pkt(dst_port=port), None, lambda p: None,
+                      generation=0)
+        assert cache.get(hot, generation=0) is not None
+        assert cache.hits == 33
 
 
 # -- packet conservation ------------------------------------------------------

@@ -1,0 +1,465 @@
+"""Tests for the megaflow wildcard tier and batched switch datapath.
+
+The load-bearing property (hypothesis-tested below): for *any*
+interleaving of rule installs, PVN removals, epoch fences, and packets,
+a switch running the full three-tier fast path — and one running it
+with batched execution — is observably equivalent to the plain linear
+table scan: same drop decisions, same per-rule match statistics, same
+table misses, same conservation counters.  The wildcard tier and the
+vector executor may only be faster, never different.
+
+Also pinned here: the mask-derivation invariants of
+:meth:`FlowTable.classify` (winner pins its tested fields, every
+rejected rule pins its first failing field), the fences on the
+megaflow tier, LRU eviction across masks, chain-group batching, and
+same-tick coalescing via :class:`TickBatcher`.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Host, Link, Packet, Simulator
+from repro.sdn import Controller, Drop, Match, Output, SdnSwitch, ToChain
+from repro.sdn.flowcache import MegaflowCache
+from repro.sdn.flowtable import FlowRule
+from repro.sdn.match import EMPTY_MASK
+
+
+def make_switch(micro: bool, mega: bool) -> SdnSwitch:
+    switch = SdnSwitch(Simulator(), "sw")
+    switch.flow_cache.enabled = micro
+    switch.megaflow_cache.enabled = mega
+    return switch
+
+
+def flow_pkt(owner="alice", src_port=40000, dst_port=443, src="10.0.0.1",
+             **kwargs):
+    defaults = dict(src=src, dst="10.0.1.1", protocol="tcp",
+                    src_port=src_port, dst_port=dst_port, owner=owner,
+                    size=100)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+# -- the three-way equivalence property ---------------------------------------
+
+# An op is one of:
+#   ("install", owner_idx, dst_port|None, src_cidr|None, priority)
+#   ("remove_pvn", owner_idx)
+#   ("fence",)          -- migration epoch advances on every switch
+#   ("packet", owner_idx, dst_port, src_octet)
+_ops = st.one_of(
+    st.tuples(st.just("install"), st.integers(0, 3),
+              st.sampled_from([None, 80, 443]),
+              st.sampled_from([None, "10.0.0.0/8", "10.1.0.0/16"]),
+              st.integers(90, 110)),
+    st.tuples(st.just("remove_pvn"), st.integers(0, 3)),
+    st.tuples(st.just("fence")),
+    st.tuples(st.just("packet"), st.integers(0, 3),
+              st.sampled_from([80, 443]), st.integers(0, 2)),
+)
+
+
+class TestMegaflowEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_ops, max_size=40))
+    def test_megaflow_and_batch_equal_linear_scan(self, ops):
+        linear = make_switch(micro=False, mega=False)
+        mega = make_switch(micro=True, mega=True)
+        batched = make_switch(micro=True, mega=True)
+        switches = (linear, mega, batched)
+        rule_ids = itertools.count(20_000_000)  # same ids in all tables
+        epochs = itertools.count(1)
+        pending: list[Packet] = []      # batched switch's open burst
+        fates: list[tuple[Packet, Packet]] = []
+
+        def flush():
+            if pending:
+                batched.process_batch(list(pending))
+                pending.clear()
+
+        for op in ops:
+            if op[0] == "install":
+                _, owner_idx, dst_port, src_cidr, priority = op
+                flush()                 # table mutates: close the burst
+                rule_id = next(rule_ids)
+                for switch in switches:
+                    switch.table.install(FlowRule(
+                        match=Match(owner=f"u{owner_idx}", dst_port=dst_port,
+                                    src_cidr=src_cidr),
+                        actions=(Drop(reason=f"r{rule_id}"),),
+                        priority=priority,
+                        pvn_id=f"u{owner_idx}/d",
+                        rule_id=rule_id,
+                    ))
+            elif op[0] == "remove_pvn":
+                flush()
+                for switch in switches:
+                    switch.table.remove_pvn(f"u{op[1]}/d")
+            elif op[0] == "fence":
+                flush()
+                token = ("migration", next(epochs))
+                for switch in switches:
+                    switch.fence(token, now=0.0)
+            else:
+                _, owner_idx, dst_port, src_octet = op
+                trio = [flow_pkt(owner=f"u{owner_idx}", dst_port=dst_port,
+                                 src=f"10.{src_octet}.0.9")
+                        for _ in switches]
+                linear.process(trio[0])
+                mega.process(trio[1])
+                pending.append(trio[2])
+                # Scalar paths agree immediately; the batched packet is
+                # checked after its burst flushes (table state at flush
+                # time is identical — bursts close before any mutation).
+                assert trio[0].dropped == trio[1].dropped
+                assert trio[0].drop_reason == trio[1].drop_reason
+                fates.append((trio[0], trio[2]))
+        flush()
+
+        for scalar_pkt, batch_pkt in fates:
+            assert scalar_pkt.dropped == batch_pkt.dropped
+            assert scalar_pkt.drop_reason == batch_pkt.drop_reason
+        base = linear.counters()
+        assert mega.counters() == base
+        assert batched.counters() == base
+        assert mega.table.misses == linear.table.misses
+        assert batched.table.misses == linear.table.misses
+        stats = {
+            r.rule_id: (r.packets_matched, r.bytes_matched)
+            for r in linear.table.rules
+        }
+        assert {r.rule_id: (r.packets_matched, r.bytes_matched)
+                for r in mega.table.rules} == stats
+        assert {r.rule_id: (r.packets_matched, r.bytes_matched)
+                for r in batched.table.rules} == stats
+
+
+# -- mask derivation ----------------------------------------------------------
+
+
+class TestClassifyMask:
+    def test_winner_pins_its_tested_fields_only(self):
+        switch = make_switch(micro=False, mega=False)
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),)))
+        rule, mask = switch.table.classify(flow_pkt())
+        assert rule is not None
+        assert mask.owner and not mask.protocol
+        assert not mask.src_port and not mask.dst_port
+        assert mask.src_plen == 0 and mask.dst_plen == 0
+
+    def test_rejected_rule_pins_first_failing_field(self):
+        switch = make_switch(micro=False, mega=False)
+        # Higher priority, rejects on dst_port (its first tested field
+        # that fails); the winner tests only owner.
+        switch.table.install(FlowRule(match=Match(dst_port=80),
+                                      actions=(Drop(),), priority=200))
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),), priority=100))
+        rule, mask = switch.table.classify(flow_pkt(dst_port=443))
+        assert rule is not None and rule.match.owner == "alice"
+        assert mask.dst_port and mask.owner
+
+    def test_cidr_rejection_pins_prefix_length(self):
+        switch = make_switch(micro=False, mega=False)
+        switch.table.install(FlowRule(
+            match=Match(src_cidr="192.168.0.0/16"),
+            actions=(Drop(),), priority=200,
+        ))
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),), priority=100))
+        _, mask = switch.table.classify(flow_pkt(src="10.0.0.1"))
+        assert mask.src_plen == 16
+
+    def test_full_miss_mask_covers_every_rejecting_rule(self):
+        switch = make_switch(micro=False, mega=False)
+        switch.table.install(FlowRule(match=Match(owner="bob"),
+                                      actions=(Drop(),)))
+        rule, mask = switch.table.classify(flow_pkt(owner="alice"))
+        assert rule is None
+        assert mask.owner
+
+    def test_empty_table_yields_empty_mask(self):
+        switch = make_switch(micro=False, mega=False)
+        rule, mask = switch.table.classify(flow_pkt())
+        assert rule is None
+        assert mask == EMPTY_MASK
+
+    def test_classify_matches_lookup_winner(self):
+        switch = make_switch(micro=False, mega=False)
+        for i, port in enumerate((80, 443, None)):
+            switch.table.install(FlowRule(
+                match=Match(owner="alice", dst_port=port),
+                actions=(Drop(reason=f"r{i}"),), priority=100 + i,
+            ))
+        for port in (80, 443, 8080):
+            packet = flow_pkt(dst_port=port)
+            winner = switch.table.lookup(packet, record=False)
+            classified, _ = switch.table.classify(packet)
+            assert classified is winner
+
+    def test_classify_records_no_stats(self):
+        switch = make_switch(micro=False, mega=False)
+        rule = FlowRule(match=Match(owner="alice"), actions=(Drop(),))
+        switch.table.install(rule)
+        switch.table.classify(flow_pkt())
+        assert rule.packets_matched == 0
+        assert switch.table.misses == 0
+
+
+# -- churn collapse (the tier's reason to exist) ------------------------------
+
+
+class TestChurnCollapse:
+    def test_churning_flows_scan_once_per_subscriber(self):
+        switch = make_switch(micro=True, mega=True)
+        for i in range(10):
+            switch.table.install(FlowRule(
+                match=Match(owner=f"user{i}"), actions=(Drop(),),
+                pvn_id=f"user{i}/d",
+            ))
+        # 50 packets, every one a fresh five-tuple, one subscriber.
+        for port in range(50):
+            switch.process(flow_pkt(owner="user3", src_port=30000 + port))
+        assert switch.full_classifications == 1
+        assert switch.megaflow_cache.hits == 49
+        assert switch.flow_cache.hits == 0      # no repeated five-tuple
+        assert switch.megaflow_cache.mask_count == 1
+
+    def test_repeated_flow_promotes_to_microflow_tier(self):
+        switch = make_switch(micro=True, mega=True)
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),)))
+        switch.process(flow_pkt())      # scan, fills both tiers
+        switch.process(flow_pkt())      # exact-match hit
+        assert switch.flow_cache.hits == 1
+        assert switch.megaflow_cache.hits == 0
+        assert switch.full_classifications == 1
+
+    def test_negative_megaflow_entry_caches_misses(self):
+        switch = make_switch(micro=True, mega=True)
+        switch.table.install(FlowRule(match=Match(owner="bob"),
+                                      actions=(Drop(),)))
+        for port in range(5):
+            switch.process(flow_pkt(owner="alice", src_port=30000 + port))
+        assert switch.full_classifications == 1
+        assert switch.table.misses == 5          # still counted per packet
+        assert switch.packets_dropped == 5       # default-drop, no controller
+
+
+# -- fences -------------------------------------------------------------------
+
+
+class TestMegaflowFences:
+    def test_install_invalidates_via_generation_fence(self):
+        switch = make_switch(micro=True, mega=True)
+        switch.table.install(FlowRule(
+            match=Match(owner="alice"), actions=(Drop(reason="old"),),
+            priority=100,
+        ))
+        first = flow_pkt()
+        switch.process(first)
+        assert "old" in first.drop_reason
+        switch.table.install(FlowRule(
+            match=Match(owner="alice"), actions=(Drop(reason="new"),),
+            priority=200,
+        ))
+        # New five-tuple: would hit the stale megaflow were it unfenced.
+        second = flow_pkt(src_port=40001)
+        switch.process(second)
+        assert "new" in second.drop_reason
+
+    def test_epoch_fence_flushes_once_per_token_change(self):
+        switch = make_switch(micro=True, mega=True)
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),)))
+        switch.process(flow_pkt())
+        assert len(switch.megaflow_cache) == 1
+        switch.fence(("lineage", 1))
+        assert len(switch.megaflow_cache) == 0
+        assert len(switch.flow_cache) == 0
+        flushes = switch.megaflow_cache.flushes
+        switch.fence(("lineage", 1))        # same token: no flush
+        assert switch.megaflow_cache.flushes == flushes
+
+    def test_controller_rule_push_flushes_eagerly(self):
+        switch = make_switch(micro=True, mega=True)
+        ctrl = Controller()
+        ctrl.adopt(switch)
+        ctrl.install("sw", Match(owner="alice"), (Drop(),),
+                     pvn_id="alice/d")
+        switch.process(flow_pkt())
+        assert len(switch.megaflow_cache) == 1
+        ctrl.remove_pvn("alice/d")
+        assert len(switch.megaflow_cache) == 0
+        assert switch.megaflow_cache.invalidations >= 1
+
+
+# -- LRU eviction across masks ------------------------------------------------
+
+
+class TestMegaflowLru:
+    def test_eviction_is_lru_across_masks_and_counted(self):
+        cache = MegaflowCache(capacity=2)
+        masks = []
+        for owner in ("a", "b"):
+            packet = flow_pkt(owner=owner)
+            _, mask = _table_for(owner).classify(packet)
+            masks.append(mask)
+            cache.put(packet, mask, None, lambda p: None, generation=0)
+        # Touch the first entry: under LRU it survives the next insert.
+        assert cache.get(flow_pkt(owner="a"), generation=0) is not None
+        third = flow_pkt(owner="c", dst_port=80)
+        _, mask = _table_for("c").classify(third)
+        cache.put(third, mask, None, lambda p: None, generation=0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(flow_pkt(owner="a"), generation=0) is not None
+        assert cache.get(flow_pkt(owner="b"), generation=0) is None
+
+    def test_empty_mask_store_removed_after_eviction(self):
+        cache = MegaflowCache(capacity=1)
+        for owner in ("a", "b"):
+            packet = flow_pkt(owner=owner)
+            _, mask = _table_for(owner).classify(packet)
+            cache.put(packet, mask, None, lambda p: None, generation=0)
+        assert cache.mask_count == 1
+
+
+def _table_for(owner):
+    from repro.sdn.flowtable import FlowTable
+    table = FlowTable()
+    table.install(FlowRule(match=Match(owner=owner), actions=(Drop(),)))
+    return table
+
+
+# -- batched switch execution -------------------------------------------------
+
+
+def assert_conservation(switch):
+    assert switch.packets_received == (
+        switch.packets_forwarded + switch.packets_dropped
+        + switch.packets_punted + switch.packets_consumed
+    )
+
+
+class TestProcessBatch:
+    def _wire(self):
+        sim = Simulator()
+        a = Host(sim, "a", "10.0.0.1")
+        b = Host(sim, "b", "10.0.1.1")
+        switch = SdnSwitch(sim, "sw")
+        Link(a, switch, latency=0.001, bandwidth_bps=1e9)
+        Link(switch, b, latency=0.001, bandwidth_bps=1e9)
+        ctrl = Controller()
+        ctrl.adopt(switch)
+        return sim, switch, ctrl
+
+    def test_batch_counters_match_scalar_processing(self):
+        outcomes = {}
+        for mode in ("scalar", "batch"):
+            sim, switch, ctrl = self._wire()
+            calls = []
+
+            def scalar_exec(packet, chain_id):
+                calls.append(1)
+                return None
+
+            def batch_exec(packets, chain_id):
+                calls.append(len(packets))
+                return [None] * len(packets)
+
+            switch.bind_chain("eater", scalar_exec)
+            switch.bind_chain_batch("eater", batch_exec)
+            ctrl.install("sw", Match(owner="fwd"), (Output("b"),))
+            ctrl.install("sw", Match(owner="drop"), (Drop(),))
+            ctrl.install("sw", Match(owner="eat"), (ToChain("eater"),))
+            packets = []
+            for owner, copies in [("fwd", 2), ("drop", 3), ("eat", 4),
+                                  ("nobody", 1)]:
+                packets.extend(flow_pkt(owner=owner) for _ in range(copies))
+            if mode == "scalar":
+                # Scalar path must not consult the batch executor.
+                switch._chain_batch_executors.clear()
+                for packet in packets:
+                    switch.process(packet)
+            else:
+                switch.process_batch(packets)
+                # The whole chain group went through one vector call.
+                assert calls == [4]
+                assert switch.batches_processed == 1
+                assert switch.batch_packets == 10
+            sim.run()
+            assert_conservation(switch)
+            outcomes[mode] = switch.counters()
+        assert outcomes["scalar"] == outcomes["batch"]
+
+    def test_batch_resume_charges_chain_delay(self):
+        sim, switch, ctrl = self._wire()
+
+        def batch_exec(packets, chain_id):
+            for packet in packets:
+                packet.metadata["chain_delay"] = 0.5
+            return list(packets)
+
+        switch.bind_chain_batch("c", batch_exec)
+        switch.bind_chain("c", lambda p, cid: p)
+        ctrl.install("sw", Match(owner="alice"),
+                     (ToChain("c", resume_neighbor="b"),))
+        switch.process_batch([flow_pkt(), flow_pkt(src_port=40001)])
+        assert switch.packets_forwarded == 2
+        sim.run()
+        # Resumed sends were deferred by the reported chain delay.
+        assert sim.now >= 0.5
+
+    def test_batch_without_vector_executor_uses_scalar_chain(self):
+        sim, switch, ctrl = self._wire()
+        seen = []
+        switch.bind_chain("c", lambda p, cid: seen.append(p) or None)
+        ctrl.install("sw", Match(owner="alice"), (ToChain("c"),))
+        switch.process_batch([flow_pkt(), flow_pkt(src_port=40001)])
+        assert len(seen) == 2
+        assert switch.packets_consumed == 2
+        assert_conservation(switch)
+
+
+class TestTickBatching:
+    def test_same_tick_deliveries_coalesce_into_one_vector(self):
+        sim = Simulator()
+        switch = SdnSwitch(sim, "sw")
+        switch.table.install(FlowRule(match=Match(owner="alice"),
+                                      actions=(Drop(),)))
+        switch.enable_tick_batching()
+        for port in range(5):
+            sim.schedule(1.0, switch.receive,
+                         flow_pkt(src_port=40000 + port), None)
+        sim.run()
+        assert switch.tick_batcher.flushes == 1
+        assert switch.tick_batcher.max_batch == 5
+        assert switch.batches_processed == 1
+        assert switch.batch_packets == 5
+        assert switch.packets_dropped == 5
+        assert_conservation(switch)
+
+    def test_distinct_ticks_flush_separately(self):
+        sim = Simulator()
+        switch = SdnSwitch(sim, "sw")
+        switch.enable_tick_batching()
+        sim.schedule(1.0, switch.receive, flow_pkt(), None)
+        sim.schedule(2.0, switch.receive, flow_pkt(src_port=40001), None)
+        sim.run()
+        assert switch.tick_batcher.flushes == 2
+        assert switch.tick_batcher.mean_batch == 1.0
+
+    def test_disabling_restores_per_packet_processing(self):
+        sim = Simulator()
+        switch = SdnSwitch(sim, "sw")
+        switch.enable_tick_batching()
+        switch.enable_tick_batching(False)
+        assert switch.tick_batcher is None
+        switch.receive(flow_pkt(), None)
+        assert switch.packets_received == 1
+        assert switch.batches_processed == 0

@@ -28,6 +28,7 @@ FAST_PARAMS = {
     "F1C": dict(n_flows=100, fractions=(0.0, 0.5, 1.0)),
     "E19": dict(sweep=((40, 6.0), (80, 8.0)), flash_crowd_users=12,
                 autoscale_ticks=6),
+    "E21": dict(rule_counts=(50,), repeats=1, batch_packets=512),
 }
 
 
