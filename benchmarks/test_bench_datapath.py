@@ -29,8 +29,12 @@ PACKETS = 2048
 
 
 def build_switch(n_rules, cached):
+    # cached=False is the uncached *baseline*: both cache tiers off so
+    # every packet pays the full linear classification (the megaflow
+    # tier alone would otherwise absorb the scan and fake the bar).
     switch = SdnSwitch(Simulator(), "ingress")
     switch.flow_cache.enabled = cached
+    switch.megaflow_cache.enabled = cached
     for i in range(n_rules):
         switch.table.install(FlowRule(
             match=Match(owner=f"user{i}"),

@@ -17,11 +17,24 @@ refactor:
 
 Wall-clock throughput rows vary run to run; only the shape is
 asserted, per the conftest convention.
+
+``BENCH_datapath.json`` in the repo root records one dev-box run of
+the same sweep (alongside ``BENCH_control_plane.json``) so the perf
+trajectory is tracked in-repo: deterministic counters (scan counts,
+classification cut, digests) must reproduce the recorded values
+exactly; wall-clock pkts/s rows are only sanity-checked against the
+recorded order of magnitude.
 """
+
+import json
+import pathlib
 
 from repro.experiments.exp21_megaflow import run as run_e21
 
 RULE_COUNTS = (100, 1000)
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_datapath.json")
 
 
 def test_bench_megaflow_fast_path(run_once):
@@ -53,3 +66,39 @@ def test_bench_megaflow_fast_path(run_once):
         f"{m['micro_mega_pps_at_1000']:,.0f} vs "
         f"{m['micro_pps_at_1000']:,.0f} pkts/s"
     )
+
+
+def test_bench_megaflow_matches_recorded_baseline():
+    """The BENCH_datapath.json perf-trajectory comparison.
+
+    Runs the recorded sweep's parameters and holds the run to the
+    recorded file: deterministic counters exactly, wall-clock loosely.
+    """
+    recorded = json.loads(BASELINE_PATH.read_text())
+    params = recorded["params"]
+    result = run_e21(seed=params["seed"],
+                     rule_counts=tuple(params["rule_counts"]),
+                     repeats=params["repeats"],
+                     batch_packets=params["batch_packets"])
+    m = result.metrics
+
+    for n_rules, row in recorded["classification"].items():
+        for config in ("linear", "micro", "micro_mega", "mega_batch"):
+            assert m[f"{config}_scans_at_{n_rules}"] == row[f"{config}_scans"], (
+                f"{config} full-classification count at {n_rules} rules "
+                f"drifted from BENCH_datapath.json"
+            )
+        assert m[f"classification_cut_at_{n_rules}"] == row["classification_cut"]
+        assert m[f"digest_match_at_{n_rules}"] == row["digest_match"]
+
+    # Wall-clock rows: regression fence only — no slower than a third
+    # of the recorded dev-box run (CI hosts are slower, never 3x).
+    for n_rules, row in recorded["throughput_pps"].items():
+        for config, pps in row.items():
+            measured = m[f"{config}_pps_at_{n_rules}"]
+            assert measured >= pps / 3.0, (
+                f"{config} throughput at {n_rules} rules collapsed: "
+                f"{measured:,.0f} pkts/s vs recorded {pps:,.0f}"
+            )
+    assert (m["batch_speedup_at_32"]
+            >= recorded["batch_speedup_at_32"] / 3.0)

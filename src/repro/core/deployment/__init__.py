@@ -46,6 +46,7 @@ from repro.core.deployment.recovery import (
     RecoveryPolicy,
     RobustnessSupervisor,
 )
+from repro.core.deployment.telemetry import TelemetryFeed
 
 __all__ = [
     "ACTION_DROP",
@@ -70,6 +71,7 @@ __all__ = [
     "RecoveryPolicy",
     "RepairResult",
     "RobustnessSupervisor",
+    "TelemetryFeed",
     "admission_headroom",
     "degrade_to_tunnel",
     "embed_pvn",

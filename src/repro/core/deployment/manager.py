@@ -556,6 +556,13 @@ class PvnDataPath:
 
     # -- observability ------------------------------------------------------
 
+    @property
+    def packets_total(self) -> int:
+        """The monotone throughput tap the closed loop samples
+        (:class:`~repro.core.deployment.telemetry.TelemetryFeed` reads
+        deltas of this per tick to derive a measured load rate)."""
+        return self.packets_processed
+
     def counters(self) -> dict[str, int]:
         counts = {
             "packets_processed": self.packets_processed,

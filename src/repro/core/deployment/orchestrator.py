@@ -388,12 +388,19 @@ class _Residuals:
             + request.cpu_share <= host.capacity.cpu_cores
         )
 
-    def charge(self, node: str, request: PlacementRequest,
-               sign: int = 1) -> None:
+    def charge(self, node: str, request: PlacementRequest) -> None:
         self.memory[node] = (self.memory.get(node, 0)
-                             + sign * request.memory_bytes)
-        self.cpu[node] = (self.cpu.get(node, 0.0)
-                          + sign * request.cpu_share)
+                             + request.memory_bytes)
+        self.cpu[node] = self.cpu.get(node, 0.0) + request.cpu_share
+
+    # Backtracking must restore the exact prior floats: reversing a
+    # charge arithmetically (+x then -x) leaves ~1e-17 cpu residue that
+    # makes a later boundary-exact fit (sum == capacity) read as over.
+    def snapshot(self, node: str) -> tuple[int, float]:
+        return (self.memory.get(node, 0), self.cpu.get(node, 0.0))
+
+    def restore(self, node: str, saved: tuple[int, float]) -> None:
+        self.memory[node], self.cpu[node] = saved
 
 
 def _sharing_allowed(request: PlacementRequest) -> bool:
@@ -624,13 +631,14 @@ def reference_solve(
                 pick, new_powered = problem.pick_cost(request, candidate,
                                                       powered)
                 if candidate.kind != "physical":
+                    saved = residuals.snapshot(candidate.node)
                     residuals.charge(candidate.node, request)
                 picks.append(candidate)
                 dfs(index + 1, picks, spent + pick, new_powered,
                     residuals, joins)
                 picks.pop()
                 if candidate.kind != "physical":
-                    residuals.charge(candidate.node, request, sign=-1)
+                    residuals.restore(candidate.node, saved)
 
     dfs(0, [], 0.0, problem.active_hosts, _Residuals(hosts), {})
     if best_picks is None:
@@ -737,6 +745,7 @@ class PlacementOptimizer:
             for _, _, _, _, candidate, pick, new_powered in sorted(
                     scored, key=lambda item: item[:4]):
                 if candidate.kind in ("fresh", "fresh_shared"):
+                    saved = residuals.snapshot(candidate.node)
                     residuals.charge(candidate.node, request)
                 if candidate.kind == "join":
                     joins[candidate.instance_id] = (
@@ -749,7 +758,7 @@ class PlacementOptimizer:
                 self.backtracks += 1
                 picks.pop()
                 if candidate.kind in ("fresh", "fresh_shared"):
-                    residuals.charge(candidate.node, request, sign=-1)
+                    residuals.restore(candidate.node, saved)
                 if candidate.kind == "join":
                     joins[candidate.instance_id] -= 1
             return None

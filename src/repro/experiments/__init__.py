@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp19_orchestration,
     exp20_selfhealing,
     exp21_megaflow,
+    exp22_closed_loop,
     fig1a,
     fig1b,
     fig1c,
@@ -63,6 +64,7 @@ ALL_EXPERIMENTS = {
     "E19": exp19_orchestration.run,
     "E20": exp20_selfhealing.run,
     "E21": exp21_megaflow.run,
+    "E22": exp22_closed_loop.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

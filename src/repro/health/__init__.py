@@ -30,6 +30,7 @@ from repro.health.overload import (
     PRIORITY_RENEW,
     AdmissionController,
     BreakerState,
+    BurnRateCoupling,
     CircuitBreaker,
     SheddingPolicy,
     TokenBucket,
@@ -41,6 +42,7 @@ from repro.nfv.hypervisor import NfvHost
 __all__ = [
     "AdmissionController",
     "BreakerState",
+    "BurnRateCoupling",
     "CircuitBreaker",
     "DetectorPolicy",
     "HealthService",

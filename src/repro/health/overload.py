@@ -103,7 +103,15 @@ class SheddingPolicy:
 
 
 class AdmissionController:
-    """Token-bucket admission with priority-class load shedding."""
+    """Token-bucket admission with priority-class load shedding.
+
+    ``pressure`` is the closed-loop input (see
+    :class:`BurnRateCoupling`): a positive shift makes every request be
+    judged as if it were that many priority classes less important, so
+    an SLO burning its error budget tightens shedding *before* the
+    bucket itself is exhausted.  Critical work stays critical — the
+    shift applies at or above :data:`PRIORITY_RENEW` only.
+    """
 
     def __init__(self, policy: SheddingPolicy | None = None,
                  now: float = 0.0) -> None:
@@ -112,12 +120,22 @@ class AdmissionController:
                                   self.policy.refill_rate, now)
         self.admitted: dict[int, int] = {}
         self.shed: dict[int, int] = {}
+        self.pressure = 0
+
+    def apply_pressure(self, shift: int) -> None:
+        """Set the burn-rate pressure shift (0 restores normal floors)."""
+        if shift < 0:
+            raise ConfigurationError("pressure shift cannot be negative")
+        self.pressure = shift
 
     def admit(self, now: float, priority: int = PRIORITY_ATTACH,
               cost: float = 1.0) -> bool:
         """Admit or shed one control-plane operation."""
+        effective = priority
+        if self.pressure and priority >= PRIORITY_RENEW:
+            effective = priority + self.pressure
         fraction = self.bucket.fill_fraction(now)
-        if fraction < self.policy.floor_for(priority):
+        if fraction < self.policy.floor_for(effective):
             self.shed[priority] = self.shed.get(priority, 0) + 1
             return False
         if not self.bucket.try_take(now, cost):
@@ -194,3 +212,59 @@ class CircuitBreaker:
         self.state = BreakerState.OPEN
         self._opened_at = now
         self.trips += 1
+
+    def force_open(self, now: float) -> None:
+        """Trip the breaker from outside the failure-count path.
+
+        The closed loop uses this: a burn-rate alert on the provider's
+        SLO is evidence enough to stop sending it fresh work, without
+        waiting for ``failure_threshold`` individual timeouts.
+        Idempotent while already OPEN.
+        """
+        if self.state is not BreakerState.OPEN:
+            self._trip(now)
+
+
+class BurnRateCoupling:
+    """The health plane's subscription to burn-rate alert state.
+
+    Register :meth:`on_alert` as an :class:`~repro.obs.alerts.
+    AlertManager` listener (duck-typed on the event's ``name``/``state``
+    attributes — this module never imports ``repro.obs``).  While any
+    subscribed alert is FIRING, the coupling keeps ``pressure_shift``
+    applied to the admission controller (shedding attaches earlier) and
+    force-opens the given circuit breakers (fail fast instead of piling
+    more work onto a burning provider).  When the last firing alert
+    resolves, admission pressure is released; breakers re-close on
+    their own cooldown/probe path.
+    """
+
+    def __init__(self, admission: AdmissionController | None = None,
+                 breakers: tuple[CircuitBreaker, ...] = (),
+                 pressure_shift: int = 1) -> None:
+        if pressure_shift < 1:
+            raise ConfigurationError("pressure_shift must be >= 1")
+        self.admission = admission
+        self.breakers = tuple(breakers)
+        self.pressure_shift = pressure_shift
+        self._firing: set[str] = set()
+        self.engagements = 0
+
+    @property
+    def engaged(self) -> bool:
+        return bool(self._firing)
+
+    def on_alert(self, alert, event) -> None:
+        del alert
+        if event.state == "firing":
+            if not self._firing:
+                self.engagements += 1
+                if self.admission is not None:
+                    self.admission.apply_pressure(self.pressure_shift)
+                for breaker in self.breakers:
+                    breaker.force_open(event.now)
+            self._firing.add(event.name)
+        else:
+            self._firing.discard(event.name)
+            if not self._firing and self.admission is not None:
+                self.admission.apply_pressure(0)

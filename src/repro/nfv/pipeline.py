@@ -395,6 +395,12 @@ class Pipeline:
 
     # -- observability ------------------------------------------------------
 
+    @property
+    def packets_total(self) -> int:
+        """The monotone throughput tap the closed loop samples (delta
+        per tick = measured rate; same name on every datapath layer)."""
+        return self.packets_in
+
     def counters(self) -> dict[str, int]:
         return {
             "packets_in": self.packets_in,

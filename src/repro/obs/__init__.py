@@ -15,6 +15,11 @@ Four pieces (see DESIGN.md §8):
 * :mod:`repro.obs.runtime` — the process-global on/off switch.
   Disabled (the default) costs one global read + None test at each
   instrumentation site.
+* :mod:`repro.obs.slo` / :mod:`repro.obs.alerts` /
+  :mod:`repro.obs.recorder` — the judgment layer (DESIGN.md §14):
+  declarative SLOs with multi-window burn rates, a FIRING/RESOLVED
+  alert lifecycle with EWMA anomaly detection, and an incident flight
+  recorder that freezes evidence bundles when alerts fire.
 
 Quickstart::
 
@@ -29,7 +34,15 @@ or from the shell::
     python -m repro obs metrics exp16  # Prometheus-style dump
 """
 
-from repro.obs import export, quantiles, runtime
+from repro.obs import alerts, export, quantiles, recorder, runtime, slo
+from repro.obs.alerts import (
+    Alert,
+    AlertEvent,
+    AlertManager,
+    AnomalyAlert,
+    BurnRateAlert,
+    EwmaDetector,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,6 +50,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Summary,
 )
+from repro.obs.recorder import FlightRecorder, IncidentBundle
+from repro.obs.slo import SloEngine, SloSpec, SloStatus, SloTracker
 from repro.obs.profile import PhaseProfiler
 from repro.obs.quantiles import P2Quantile, percentile, summarize_percentiles
 from repro.obs.runtime import (
@@ -56,18 +71,31 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertEvent",
+    "AlertManager",
+    "AnomalyAlert",
+    "BurnRateAlert",
     "Counter",
+    "EwmaDetector",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "IncidentBundle",
     "MetricsRegistry",
     "Observability",
     "P2Quantile",
     "PhaseProfiler",
     "SPAN_KEY",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
+    "SloTracker",
     "Span",
     "SpanContext",
     "SpanTracer",
     "Summary",
+    "alerts",
     "current",
     "disable",
     "enable",
@@ -77,6 +105,8 @@ __all__ = [
     "inject",
     "percentile",
     "quantiles",
+    "recorder",
     "runtime",
+    "slo",
     "summarize_percentiles",
 ]

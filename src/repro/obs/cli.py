@@ -1,6 +1,6 @@
 """The audit-facing observability CLI: ``python -m repro obs ...``.
 
-Two subcommands, both of which run one experiment with the
+Four subcommands, all of which run one experiment with the
 observability layer fully enabled and export what it saw:
 
 ``python -m repro obs trace E16``
@@ -11,7 +11,19 @@ observability layer fully enabled and export what it saw:
 
 ``python -m repro obs metrics E16``
     Same run, but exports the metrics registry as a Prometheus-style
-    text dump plus JSONL samples and prints the text exposition.
+    text dump plus JSONL samples (both deterministically sorted by
+    metric name then label key) and prints the text exposition.
+
+``python -m repro obs slo E22``
+    Same run, then dumps every registered SLO's final status (burn
+    rates, error-budget spend, event totals) as ``slo.jsonl`` and a
+    status table.
+
+``python -m repro obs alerts E22``
+    Same run, then exports the alert timeline as ``alerts.jsonl`` and
+    every frozen incident bundle as ``incident-<n>.jsonl`` plus a
+    Chrome-trace ``incident-<n>.chrome.json``, and prints the
+    FIRING/RESOLVED timeline.
 
 Experiment ids are normalised (``exp16`` == ``E16``; ``fig1a`` ==
 ``F1A``).  Artifacts land under ``--out`` (default
@@ -104,12 +116,37 @@ def _walk_depth(tracer, span, depth):
         yield from _walk_depth(tracer, child, depth + 1)
 
 
+def _render_slo(statuses, out=sys.stdout) -> None:
+    if not statuses:
+        print("no SLOs registered by this run", file=out)
+        return
+    print(f"{'slo':<24} {'objective':>9} {'fast':>7} {'slow':>7} "
+          f"{'budget':>7} {'good':>9} {'bad':>6}", file=out)
+    for status in statuses:
+        print(f"{status.name:<24} {status.objective:>9.4f} "
+              f"{status.fast_burn:>7.2f} {status.slow_burn:>7.2f} "
+              f"{status.budget_used:>7.2f} {int(status.good_total):>9} "
+              f"{int(status.bad_total):>6}", file=out)
+
+
+def _render_alerts(timeline, incidents, out=sys.stdout) -> None:
+    if not timeline:
+        print("no alert transitions recorded by this run", file=out)
+    for entry in timeline:
+        cause = ", ".join(f"{key}={value}" for key, value in
+                          sorted(entry["cause"].items()))
+        print(f"t={entry['now']:<8g} {entry['state'].upper():<8} "
+              f"{entry['name']} [{entry['severity']}]  {cause}", file=out)
+    print(f"{len(incidents)} incident bundle(s) frozen", file=out)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
         description="Export traces and metrics from an instrumented run.",
     )
-    parser.add_argument("command", choices=("trace", "metrics"),
+    parser.add_argument("command",
+                        choices=("trace", "metrics", "slo", "alerts"),
                         help="what to export")
     parser.add_argument("experiment", metavar="ID",
                         help="experiment id (e.g. E16, exp16, fig1a)")
@@ -147,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
             written = [jsonl_path, chrome_path]
             if not args.quiet:
                 _render_tree()
-        else:
+        elif args.command == "metrics":
             prom_path = out_dir / "metrics.prom"
             with prom_path.open("w") as fh:
                 obs_export.metrics_to_prometheus(obs.metrics, fh)
@@ -157,6 +194,34 @@ def main(argv: list[str] | None = None) -> int:
             written = [prom_path, mjsonl_path]
             if not args.quiet:
                 obs_export.metrics_to_prometheus(obs.metrics, sys.stdout)
+        elif args.command == "slo":
+            statuses = obs.slo.status()
+            slo_path = out_dir / "slo.jsonl"
+            with slo_path.open("w") as fh:
+                for status in statuses:
+                    fh.write(json.dumps(status.to_dict(), sort_keys=True))
+                    fh.write("\n")
+            written = [slo_path]
+            if not args.quiet:
+                _render_slo(statuses)
+        else:
+            timeline = obs.alerts.timeline()
+            timeline_path = out_dir / "alerts.jsonl"
+            with timeline_path.open("w") as fh:
+                for entry in timeline:
+                    fh.write(json.dumps(entry, sort_keys=True))
+                    fh.write("\n")
+            written = [timeline_path]
+            for index, bundle in enumerate(obs.recorder.incidents):
+                bundle_path = out_dir / f"incident-{index}.jsonl"
+                with bundle_path.open("w") as fh:
+                    bundle.to_jsonl(fh)
+                chrome_path = out_dir / f"incident-{index}.chrome.json"
+                with chrome_path.open("w") as fh:
+                    json.dump(bundle.to_chrome_trace(), fh)
+                written += [bundle_path, chrome_path]
+            if not args.quiet:
+                _render_alerts(timeline, obs.recorder.incidents)
 
         if not args.quiet:
             print()

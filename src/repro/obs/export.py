@@ -89,6 +89,37 @@ def _jsonable(value: Any) -> Any:
 
 # -- metrics --------------------------------------------------------------
 
+def _label_rank(name: str, value: str):
+    # le/quantile label values sort numerically so histogram buckets
+    # stay in ascending-bound order ("10" after "2", "+Inf" last).
+    if name in ("le", "quantile"):
+        bound = float("inf") if value == "+Inf" else float(value)
+        return (name, 1, bound, "")
+    return (name, 0, 0.0, value)
+
+
+def _sample_sort_key(sample: Sample, families: dict[str, Any]):
+    family = _family_of(sample, families)
+    family_name = family.name if family is not None else sample.name
+    label_key = tuple(_label_rank(name, value)
+                      for name, value in sample.labels)
+    return (family_name, sample.name, label_key)
+
+
+def deterministic_samples(registry: MetricsRegistry) -> list[Sample]:
+    """Registry samples in a total, stable order.
+
+    Sorted by family name first (so Prometheus ``# TYPE`` headers group
+    a family's suffixed samples together — a plain sample-name sort
+    would interleave ``repro_ab_total`` between ``repro_a_bucket`` and
+    ``repro_a_count``), then sample name, then label key/value with
+    ``le``/``quantile`` compared numerically.
+    """
+    families = {m.name: m for m in registry.families()}
+    return sorted(registry.collect(),
+                  key=lambda s: _sample_sort_key(s, families))
+
+
 def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
@@ -112,7 +143,7 @@ def metrics_to_prometheus(registry: MetricsRegistry, out: TextIO) -> int:
     lines = 0
     emitted_header: set[str] = set()
     families = {m.name: m for m in registry.families()}
-    for sample in registry.collect():
+    for sample in deterministic_samples(registry):
         base = _family_of(sample, families)
         if base is not None and base.name not in emitted_header:
             emitted_header.add(base.name)
@@ -138,7 +169,7 @@ def _family_of(sample: Sample, families: dict[str, Any]):
 def metrics_to_jsonl(registry: MetricsRegistry, out: TextIO) -> int:
     """One JSON object per exposition row; returns the count."""
     written = 0
-    for sample in registry.collect():
+    for sample in deterministic_samples(registry):
         out.write(json.dumps({
             "name": sample.name,
             "labels": dict(sample.labels),

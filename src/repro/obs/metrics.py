@@ -34,6 +34,15 @@ DEFAULT_BUCKETS = (
     1.6384e-2, 6.5536e-2, 0.262144, 1.048576, 4.194304, 16.777216,
 )
 
+#: Default per-family child cap (label-cardinality guard).
+DEFAULT_MAX_LABEL_CHILDREN = 1000
+
+#: Counter: label sets folded into ``other`` after a family hit its cap.
+OVERFLOW_COUNTER = "repro_metrics_cardinality_overflow"
+
+#: The label value every dimension takes in the overflow child.
+OVERFLOW_LABEL = "other"
+
 
 @dataclasses.dataclass(frozen=True)
 class Sample:
@@ -54,7 +63,15 @@ def _label_key(labelnames: tuple[str, ...],
 
 
 class _Metric:
-    """Shared parent: a named family of labelled children."""
+    """Shared parent: a named family of labelled children.
+
+    The registry assigns ``max_children`` (the label-cardinality guard):
+    once a labelled family holds that many children, novel label sets
+    fold into one shared all-``other`` child instead of allocating — an
+    unbounded id-shaped label (deployment ids, packet ids) degrades into
+    one aggregate series rather than eating memory.  Each fold reports
+    through ``overflow_hook`` so the leak stays visible.
+    """
 
     kind = "untyped"
 
@@ -64,14 +81,29 @@ class _Metric:
         self.help = help
         self.labelnames = tuple(labelnames)
         self._children: dict[tuple[str, ...], Any] = {}
+        self.max_children: int | None = None
+        self.overflow_hook = None
 
     def labels(self, **labels: Any):
         """The child for one label combination (created on first use)."""
         key = _label_key(self.labelnames, labels)
         child = self._children.get(key)
         if child is None:
+            if (self.max_children is not None and self.labelnames
+                    and len(self._children) >= self.max_children):
+                return self._overflow_child()
             child = self._make_child()
             self._children[key] = child
+        return child
+
+    def _overflow_child(self):
+        key = tuple(OVERFLOW_LABEL for _ in self.labelnames)
+        child = self._children.get(key)
+        if child is None:     # the fold target sits above the cap
+            child = self._make_child()
+            self._children[key] = child
+        if self.overflow_hook is not None:
+            self.overflow_hook(self.name)
         return child
 
     def _make_child(self):  # pragma: no cover - abstract
@@ -258,10 +290,17 @@ class MetricsRegistry:
     Re-registering a name returns the existing family (so publishers
     need no "create once" dance), but the kind and label schema must
     match — a mismatch is a programming error and raises.
+
+    ``max_label_children`` caps each labelled family's child count;
+    past it, novel label sets fold into one all-``other`` child and the
+    ``repro_metrics_cardinality_overflow`` counter (itself exempt from
+    the cap) records the fold per metric name.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 max_label_children: int = DEFAULT_MAX_LABEL_CHILDREN) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self.max_label_children = max_label_children
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -282,8 +321,17 @@ class MetricsRegistry:
                 )
             return existing
         metric = cls(name, help, tuple(labelnames), **kwargs)
+        if name != OVERFLOW_COUNTER:
+            metric.max_children = self.max_label_children
+            metric.overflow_hook = self._record_overflow
         self._metrics[name] = metric
         return metric
+
+    def _record_overflow(self, name: str) -> None:
+        self.counter(
+            OVERFLOW_COUNTER,
+            "Label sets folded into 'other' after a family hit its "
+            "cardinality cap", ("metric",)).labels(metric=name).inc()
 
     def counter(self, name: str, help: str = "",
                 labelnames: tuple[str, ...] = ()) -> Counter:

@@ -24,12 +24,16 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
+from repro.obs import recorder as recorder_mod
+from repro.obs.alerts import AlertManager
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloEngine
 from repro.obs.spans import Span, SpanContext, SpanTracer
 
 
 class Observability:
-    """The live handles: spans + metrics + feature flags."""
+    """The live handles: spans + metrics + SLOs/alerts + feature flags."""
 
     def __init__(
         self,
@@ -38,6 +42,14 @@ class Observability:
     ) -> None:
         self.spans = SpanTracer()
         self.metrics = MetricsRegistry()
+        #: The judgment layer (all passive until specs/rules register):
+        #: SLO windows, the alert lifecycle, and the flight recorder,
+        #: pre-wired so FIRING freezes an incident bundle with the most
+        #: recent finished spans as evidence.
+        self.slo = SloEngine(metrics=self.metrics)
+        self.alerts = AlertManager(metrics=self.metrics)
+        self.recorder = FlightRecorder()
+        recorder_mod.attach(self.alerts, self.recorder, tracer=self.spans)
         #: Create spans at instrumentation sites (control-plane
         #: transactions and traced packets).
         self.trace_spans = trace_spans

@@ -456,6 +456,13 @@ class SdnSwitch(Node):
 
     # -- observability --------------------------------------------------------
 
+    @property
+    def packets_total(self) -> int:
+        """The monotone throughput tap the closed loop samples
+        (:class:`~repro.core.deployment.telemetry.TelemetryFeed` takes
+        deltas of this between ticks; same name on every layer)."""
+        return self.packets_received
+
     def counters(self) -> dict[str, int]:
         return {
             "received": self.packets_received,

@@ -176,6 +176,24 @@ class TestDifferential:
             cost = optimizer.plan_cost(requests, "dev", "gw", plan)
             assert cost <= HEURISTIC_COST_BOUND * reference.cost + 1e-9
 
+    def test_backtracking_leaves_no_float_residue(self):
+        # Regression (hypothesis seed 3284): the only feasible
+        # assignment sits exactly on a cpu capacity boundary
+        # (0.2 + 0.2 + 0.1 == 0.5).  Reversing tentative charges
+        # arithmetically (+x then -x) leaves ~1e-17 residue in the
+        # shared _Residuals, which made reference_solve reject the
+        # boundary-exact branch and report a feasible instance as
+        # infeasible; backtracking must snapshot/restore instead.
+        rng = random.Random(3284)
+        topo, hosts, pool, requests = random_instance(rng)
+        optimizer = PlacementOptimizer(topo, hosts, pool=pool)
+        reference = reference_solve(topo, hosts, requests, "dev", "gw",
+                                    model=optimizer.model, pool=pool)
+        assert reference is not None
+        plan = optimizer.place(requests, "dev", "gw")
+        cost = optimizer.plan_cost(requests, "dev", "gw", plan)
+        assert cost <= HEURISTIC_COST_BOUND * reference.cost + 1e-9
+
     def test_reference_refuses_large_topologies(self):
         topo = build_access_network(AccessNetworkSpec(n_nfv_hosts=7))
         attach_device(topo, "dev")

@@ -1,0 +1,160 @@
+"""TelemetryFeed: measured datapath rates into the placement optimizer."""
+
+import types
+
+import pytest
+
+from repro.core.deployment import TelemetryFeed
+from repro.core.deployment.manager import DeploymentState
+from repro.core.deployment.telemetry import (
+    RATE_GAUGE,
+    SWITCH_RATE_GAUGE,
+    TICKS_COUNTER,
+)
+
+
+class _FakeDatapath:
+    def __init__(self):
+        self.packets_total = 0
+
+
+class _FakeDeployment:
+    def __init__(self, state=DeploymentState.ACTIVE):
+        self.state = state
+        self.datapath = _FakeDatapath()
+
+
+class _FakeManager:
+    def __init__(self, **deployments):
+        self.deployments = dict(deployments)
+
+
+class _FakeOptimizer:
+    def __init__(self):
+        self.reports = []
+
+    def report_load(self, deployment_id, rate, now):
+        self.reports.append((deployment_id, rate, now))
+
+
+def _feed(**kwargs):
+    manager = _FakeManager(**{
+        name: _FakeDeployment() for name in ("u0/pvn1", "u1/pvn2")})
+    optimizer = _FakeOptimizer()
+    feed = TelemetryFeed(manager, optimizer, **kwargs)
+    return manager, optimizer, feed
+
+
+class TestRates:
+    def test_delta_over_interval_is_exact(self):
+        manager, optimizer, feed = _feed()
+        manager.deployments["u0/pvn1"].datapath.packets_total = 12
+        rates = feed.tick(1.0)
+        assert rates == {"u0/pvn1": 12.0, "u1/pvn2": 0.0}
+        manager.deployments["u0/pvn1"].datapath.packets_total = 30
+        rates = feed.tick(2.0)
+        assert rates["u0/pvn1"] == 18.0      # delta, not total
+        assert feed.rate("u0/pvn1") == 18.0
+        assert feed.rate("never-seen") == 0.0
+
+    def test_interval_scales_rates(self):
+        manager, _, feed = _feed(interval=0.5)
+        manager.deployments["u0/pvn1"].datapath.packets_total = 10
+        assert feed.tick(0.5)["u0/pvn1"] == 20.0
+
+    def test_reports_to_optimizer_with_timestamp(self):
+        manager, optimizer, feed = _feed()
+        manager.deployments["u0/pvn1"].datapath.packets_total = 7
+        feed.tick(3.0)
+        assert ("u0/pvn1", 7.0, 3.0) in optimizer.reports
+        # Sorted iteration: deterministic report order.
+        assert [r[0] for r in optimizer.reports] == ["u0/pvn1", "u1/pvn2"]
+
+    def test_ewma_smoothing_damps_bursts(self):
+        manager, _, feed = _feed(alpha=0.5)
+        dp = manager.deployments["u0/pvn1"].datapath
+        dp.packets_total = 10
+        assert feed.tick(1.0)["u0/pvn1"] == 10.0   # first sample: raw
+        dp.packets_total = 30
+        assert feed.tick(2.0)["u0/pvn1"] == 15.0   # 0.5*20 + 0.5*10
+
+    def test_default_alpha_reports_raw_deltas(self):
+        # measured == reported exactly is what makes E22's digest
+        # parity possible; alpha defaults to no smoothing.
+        assert TelemetryFeed(_FakeManager()).alpha == 1.0
+
+    @pytest.mark.parametrize("kwargs", (dict(interval=0.0),
+                                        dict(interval=-1.0),
+                                        dict(alpha=0.0),
+                                        dict(alpha=1.5)))
+    def test_parameters_validated(self, kwargs):
+        with pytest.raises(ValueError):
+            TelemetryFeed(_FakeManager(), **kwargs)
+
+
+class TestLifecycle:
+    def test_non_active_deployments_skipped(self):
+        manager, optimizer, feed = _feed()
+        manager.deployments["u1/pvn2"].state = DeploymentState.SUPERSEDED
+        manager.deployments["u1/pvn2"].datapath.packets_total = 99
+        rates = feed.tick(1.0)
+        assert "u1/pvn2" not in rates
+        assert all(r[0] != "u1/pvn2" for r in optimizer.reports)
+
+    def test_marks_pruned_when_deployment_disappears(self):
+        manager, _, feed = _feed()
+        manager.deployments["u0/pvn1"].datapath.packets_total = 10
+        feed.tick(1.0)
+        del manager.deployments["u0/pvn1"]
+        feed.tick(2.0)
+        assert feed.rate("u0/pvn1") == 0.0
+        assert "u0/pvn1" not in feed._marks
+
+    def test_optimizer_defaults_to_managers(self):
+        manager = _FakeManager()
+        manager.optimizer = _FakeOptimizer()
+        feed = TelemetryFeed(manager)
+        assert feed.optimizer is manager.optimizer
+
+    def test_no_optimizer_still_measures(self):
+        manager = _FakeManager(d=_FakeDeployment())
+        feed = TelemetryFeed(manager)          # no optimizer attr at all
+        manager.deployments["d"].datapath.packets_total = 4
+        assert feed.tick(1.0) == {"d": 4.0}
+
+
+class TestMetricsPublication:
+    def test_gauges_and_ticks_in_local_registry(self):
+        manager, _, feed = _feed()
+        manager.deployments["u0/pvn1"].datapath.packets_total = 5
+        switch = types.SimpleNamespace(packets_total=8)
+        feed.watch_switch("ingress", switch)
+        feed.tick(1.0)
+        registry = feed._local_metrics
+        assert registry.value(RATE_GAUGE, deployment="u0/pvn1") == 5.0
+        assert registry.value(SWITCH_RATE_GAUGE, switch="ingress") == 8.0
+        assert registry.value(TICKS_COUNTER) == 1.0
+        assert feed.ticks == 1
+
+    def test_switch_rate_is_also_a_delta(self):
+        manager, _, feed = _feed()
+        switch = types.SimpleNamespace(packets_total=8)
+        feed.watch_switch("ingress", switch)
+        feed.tick(1.0)
+        switch.packets_total = 11
+        feed.tick(2.0)
+        assert feed._local_metrics.value(
+            SWITCH_RATE_GAUGE, switch="ingress") == 3.0
+
+
+class TestRealDatapathTaps:
+    def test_packets_total_taps_exist(self):
+        """The uniform tap the feed samples is present on all three
+        datapath layers."""
+        from repro.core.deployment.manager import PvnDataPath
+        from repro.nfv.pipeline import Pipeline
+        from repro.sdn.switch import SdnSwitch
+
+        assert isinstance(getattr(PvnDataPath, "packets_total"), property)
+        assert isinstance(getattr(SdnSwitch, "packets_total"), property)
+        assert isinstance(getattr(Pipeline, "packets_total"), property)

@@ -217,3 +217,139 @@ class TestCircuitBreaker:
                 breaker.record_success(now)
             else:
                 breaker.record_failure(now)
+
+
+class _Event:
+    """Duck-typed alert event (the coupling never imports repro.obs)."""
+
+    def __init__(self, name, state, now=0.0):
+        self.name = name
+        self.state = state
+        self.now = now
+
+
+class TestAdmissionPressure:
+    def _controller(self):
+        # Four floors so an attach under pressure 1 is judged at the
+        # stricter 0.9 floor instead of 0.5.
+        return AdmissionController(SheddingPolicy(
+            capacity=10.0, refill_rate=1.0,
+            floors=(0.0, 0.25, 0.5, 0.9)))
+
+    def test_pressure_tightens_attach_floor(self):
+        controller = self._controller()
+        # Drain to 60%: above the normal attach floor (0.5), below the
+        # pressured one (0.9).
+        for _ in range(4):
+            assert controller.admit(0.0, PRIORITY_CRITICAL)
+        assert controller.admit(0.0, PRIORITY_ATTACH)
+        controller.apply_pressure(1)
+        assert not controller.admit(0.0, PRIORITY_ATTACH)
+
+    def test_critical_work_exempt_from_pressure(self):
+        controller = self._controller()
+        controller.apply_pressure(3)
+        for _ in range(9):
+            assert controller.admit(0.0, PRIORITY_CRITICAL)
+
+    def test_releasing_pressure_restores_floors(self):
+        controller = self._controller()
+        for _ in range(4):
+            controller.admit(0.0, PRIORITY_CRITICAL)
+        controller.apply_pressure(1)
+        assert not controller.admit(0.0, PRIORITY_ATTACH)
+        controller.apply_pressure(0)
+        assert controller.admit(0.0, PRIORITY_ATTACH)
+
+    def test_negative_pressure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController().apply_pressure(-1)
+
+
+class TestForceOpen:
+    def test_force_open_trips_without_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=2.0)
+        breaker.force_open(1.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(1.5)
+
+    def test_force_open_idempotent_while_open(self):
+        breaker = CircuitBreaker()
+        breaker.force_open(1.0)
+        breaker.force_open(1.5)
+        assert breaker.trips == 1
+
+    def test_recloses_via_normal_probe_path(self):
+        breaker = CircuitBreaker(cooldown=2.0)
+        breaker.force_open(1.0)
+        assert breaker.allow(3.5)            # half-open probe
+        breaker.record_success(3.5)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestBurnRateCoupling:
+    from repro.health import BurnRateCoupling  # noqa: F401 (import check)
+
+    def _parts(self):
+        from repro.health import BurnRateCoupling
+        admission = AdmissionController(SheddingPolicy(
+            capacity=10.0, refill_rate=1.0,
+            floors=(0.0, 0.25, 0.5, 0.9)))
+        breaker = CircuitBreaker()
+        coupling = BurnRateCoupling(admission=admission,
+                                    breakers=(breaker,))
+        return admission, breaker, coupling
+
+    def test_firing_applies_pressure_and_opens_breakers(self):
+        admission, breaker, coupling = self._parts()
+        coupling.on_alert(None, _Event("burn", "firing", now=8.0))
+        assert coupling.engaged
+        assert coupling.engagements == 1
+        assert admission.pressure == 1
+        assert breaker.state is BreakerState.OPEN
+
+    def test_resolve_of_last_alert_releases_pressure(self):
+        admission, breaker, coupling = self._parts()
+        coupling.on_alert(None, _Event("a", "firing"))
+        coupling.on_alert(None, _Event("b", "firing"))
+        coupling.on_alert(None, _Event("a", "resolved"))
+        assert admission.pressure == 1        # b still firing
+        coupling.on_alert(None, _Event("b", "resolved"))
+        assert not coupling.engaged
+        assert admission.pressure == 0
+
+    def test_overlapping_fires_engage_once(self):
+        admission, breaker, coupling = self._parts()
+        coupling.on_alert(None, _Event("a", "firing"))
+        coupling.on_alert(None, _Event("b", "firing"))
+        assert coupling.engagements == 1
+        assert breaker.trips == 1
+
+    def test_breakers_not_reclosed_on_resolve(self):
+        # Breakers recover via their own cooldown/probe path, not on
+        # alert resolution: the alert clearing says the SLO recovered,
+        # not that the provider did.
+        admission, breaker, coupling = self._parts()
+        coupling.on_alert(None, _Event("a", "firing", now=1.0))
+        coupling.on_alert(None, _Event("a", "resolved", now=1.5))
+        assert breaker.state is BreakerState.OPEN
+
+    def test_stray_resolve_is_harmless(self):
+        admission, _, coupling = self._parts()
+        coupling.on_alert(None, _Event("never-fired", "resolved"))
+        assert not coupling.engaged
+        assert admission.pressure == 0
+
+    def test_pressure_shift_validated(self):
+        from repro.health import BurnRateCoupling
+        with pytest.raises(ConfigurationError):
+            BurnRateCoupling(pressure_shift=0)
+
+    def test_works_without_admission_or_breakers(self):
+        from repro.health import BurnRateCoupling
+        coupling = BurnRateCoupling()
+        coupling.on_alert(None, _Event("a", "firing"))
+        assert coupling.engaged
+        coupling.on_alert(None, _Event("a", "resolved"))
+        assert not coupling.engaged

@@ -79,3 +79,108 @@ class TestMetricsExport:
                 (metrics_dir / "metrics.jsonl").read_text().splitlines()]
         assert any(r["name"] == "repro_datapath_packets_total"
                    for r in rows)
+
+    def test_prometheus_output_is_deterministically_sorted(self,
+                                                           metrics_dir):
+        # Samples sorted by family then name then label key; histogram
+        # buckets ascend numerically within each child.
+        text = (metrics_dir / "metrics.prom").read_text()
+        families = [line.split(" ", 2)[2].split(" ")[0]
+                    for line in text.splitlines()
+                    if line.startswith("# TYPE")]
+        assert families == sorted(families)
+        by_child = {}
+        for line in text.splitlines():
+            if 'le="' not in line:
+                continue
+            prefix, rest = line.split('le="', 1)
+            value = rest.split('"')[0]
+            by_child.setdefault(prefix, []).append(
+                float("inf") if value == "+Inf" else float(value))
+        assert by_child
+        for bounds in by_child.values():
+            assert bounds == sorted(bounds)
+
+
+def _fast_e22(seed=0):
+    """E22 at a reduced scale that still fires + resolves the alert."""
+    from repro.experiments import exp22_closed_loop
+
+    return exp22_closed_loop.run(
+        seed=seed, parity_users=24, parity_flash=6, parity_ticks=3,
+        incident_users=96, surge_tick=6, surge_factor=6.0,
+        incident_horizon=18)
+
+
+@pytest.fixture(scope="class")
+def fast_e22_registered():
+    original = ALL_EXPERIMENTS["E22"]
+    ALL_EXPERIMENTS["E22"] = _fast_e22
+    try:
+        yield
+    finally:
+        ALL_EXPERIMENTS["E22"] = original
+
+
+class TestSloExport:
+    @pytest.fixture(scope="class")
+    def slo_dir(self, tmp_path_factory, fast_e22_registered):
+        out = tmp_path_factory.mktemp("slo")
+        code = obs_main(["slo", "E22", "--out", str(out), "--quiet"])
+        assert code == 0
+        return out
+
+    def test_status_rows_written(self, slo_dir):
+        rows = [json.loads(line) for line in
+                (slo_dir / "slo.jsonl").read_text().splitlines()]
+        names = [r["name"] for r in rows]
+        assert names == ["chain_latency", "delivery_availability"]
+        chain = rows[0]
+        assert chain["objective"] == 0.99
+        assert chain["bad_total"] > 0        # the regression happened
+        assert chain["ticks"] > 0
+
+    def test_slo_on_experiment_without_slos(self, tmp_path):
+        code = obs_main(["slo", "E10", "--out", str(tmp_path),
+                         "--quiet"])
+        assert code == 0
+        assert (tmp_path / "slo.jsonl").read_text() == ""
+
+
+class TestAlertsExport:
+    @pytest.fixture(scope="class")
+    def alerts_dir(self, tmp_path_factory, fast_e22_registered):
+        out = tmp_path_factory.mktemp("alerts")
+        code = obs_main(["alerts", "E22", "--out", str(out), "--quiet"])
+        assert code == 0
+        return out
+
+    def test_timeline_has_firing_and_resolved(self, alerts_dir):
+        rows = [json.loads(line) for line in
+                (alerts_dir / "alerts.jsonl").read_text().splitlines()]
+        by_name = {}
+        for row in rows:
+            by_name.setdefault(row["name"], []).append(row["state"])
+        assert by_name["burn_rate:chain_latency"] == ["firing",
+                                                      "resolved"]
+        firing = next(r for r in rows
+                      if r["name"] == "burn_rate:chain_latency")
+        assert firing["cause"]["detector"] == "burn_rate"
+        assert float(firing["cause"]["fast_burn"]) >= 4.0
+
+    def test_incident_bundles_written(self, alerts_dir):
+        bundle_path = alerts_dir / "incident-0.jsonl"
+        assert bundle_path.exists()
+        rows = [json.loads(line) for line in
+                bundle_path.read_text().splitlines()]
+        header = rows[0]
+        assert header["kind"] == "incident"
+        kinds = {r["kind"] for r in rows[1:]}
+        assert kinds == {"record", "span"}
+
+    def test_incident_chrome_trace_loads(self, alerts_dir):
+        doc = json.loads((alerts_dir / "incident-0.chrome.json")
+                         .read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "i" in phases
+        assert doc["metadata"]["alert"] == "burn_rate:chain_latency"

@@ -99,3 +99,67 @@ class TestPrometheus:
         assert text.count("# TYPE lat histogram") == 1
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_count 1" in text
+
+
+class TestDeterministicOrdering:
+    def _registry(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_a", "A", buckets=(2.0, 10.0))
+        h.observe(1.0)
+        h.observe(5.0)
+        registry.counter("repro_ab", "AB").inc()
+        s = registry.summary("repro_s", "S")
+        s.observe(3.0)
+        g = registry.gauge("repro_g", "G", ("b", "a"))
+        g.labels(b="1", a="2").set(1.0)
+        g.labels(b="0", a="9").set(2.0)
+        return registry
+
+    def test_prometheus_families_stay_grouped(self):
+        # Family-name-first ordering: repro_ab_total must NOT be
+        # interleaved between repro_a's suffixed samples.
+        out = io.StringIO()
+        metrics_to_prometheus(self._registry(), out)
+        names = [line.split("{")[0].split(" ")[0]
+                 for line in out.getvalue().splitlines()
+                 if not line.startswith("#")]
+        a_rows = [i for i, n in enumerate(names) if n.startswith("repro_a")
+                  and not n.startswith("repro_ab")]
+        ab_row = names.index("repro_ab_total")
+        assert ab_row > max(a_rows)
+
+    def test_histogram_buckets_ascend_numerically(self):
+        out = io.StringIO()
+        metrics_to_prometheus(self._registry(), out)
+        bounds = [line.split('{le="')[1].split('"')[0]
+                  for line in out.getvalue().splitlines()
+                  if '{le="' in line]
+        assert bounds == ["2", "10", "+Inf"]
+
+    def test_jsonl_sorted_by_name_then_labels(self):
+        out = io.StringIO()
+        metrics_to_jsonl(self._registry(), out)
+        rows = [json.loads(line) for line in
+                out.getvalue().strip().splitlines()]
+        gauge_rows = [r for r in rows if r["name"] == "repro_g"]
+        # Children ordered by label values in labelname order (b, a).
+        assert [r["labels"]["b"] for r in gauge_rows] == ["0", "1"]
+
+    def test_output_independent_of_insertion_order(self):
+        def render(registry):
+            out = io.StringIO()
+            metrics_to_prometheus(registry, out)
+            return out.getvalue()
+
+        forward = self._registry()
+
+        backward = MetricsRegistry()
+        g = backward.gauge("repro_g", "G", ("b", "a"))
+        g.labels(b="0", a="9").set(2.0)
+        g.labels(b="1", a="2").set(1.0)
+        backward.summary("repro_s", "S").observe(3.0)
+        backward.counter("repro_ab", "AB").inc()
+        h = backward.histogram("repro_a", "A", buckets=(2.0, 10.0))
+        h.observe(5.0)
+        h.observe(1.0)
+        assert render(forward) == render(backward)

@@ -127,3 +127,70 @@ class TestCollect:
 
     def test_value_of_unknown_metric_is_zero(self):
         assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestCardinalityGuard:
+    def _capped(self, cap=3):
+        from repro.obs.metrics import OVERFLOW_COUNTER
+        registry = MetricsRegistry(max_label_children=cap)
+        counter = registry.counter("repro_hits", "", ("deployment",))
+        return registry, counter, OVERFLOW_COUNTER
+
+    def test_children_capped_with_other_fold(self):
+        registry, counter, _ = self._capped(cap=3)
+        for i in range(10):
+            counter.labels(deployment=f"u{i}/pvn{i}").inc()
+        labels = [dict(l) for l, _ in counter.children()]
+        assert len(labels) == 4              # cap + the fold target
+        assert {"deployment": "other"} in labels
+        # The 7 overflowing increments all landed on the other child.
+        assert registry.value("repro_hits", deployment="other") == 7.0
+
+    def test_overflow_counter_records_folds_per_metric(self):
+        registry, counter, overflow = self._capped(cap=2)
+        for i in range(5):
+            counter.labels(deployment=str(i)).inc()
+        assert registry.value(overflow, metric="repro_hits") == 3.0
+
+    def test_known_children_unaffected_at_cap(self):
+        registry, counter, overflow = self._capped(cap=2)
+        counter.labels(deployment="a").inc()
+        counter.labels(deployment="b").inc()
+        counter.labels(deployment="a").inc(5)    # existing child: no fold
+        assert registry.value("repro_hits", deployment="a") == 6.0
+        assert registry.value(overflow, metric="repro_hits") == 0.0
+
+    def test_multi_label_fold_uses_other_for_every_dimension(self):
+        registry = MetricsRegistry(max_label_children=1)
+        gauge = registry.gauge("repro_load", "", ("service", "instance"))
+        gauge.labels(service="a", instance="1").set(1.0)
+        gauge.labels(service="b", instance="2").set(9.0)
+        labels = [dict(l) for l, _ in gauge.children()]
+        assert {"service": "other", "instance": "other"} in labels
+
+    def test_unlabelled_metrics_never_fold(self):
+        registry = MetricsRegistry(max_label_children=1)
+        gauge = registry.gauge("depth")
+        gauge.set(4.0)
+        gauge.set(5.0)
+        assert gauge.value == 5.0
+
+    def test_overflow_counter_exempt_from_its_own_cap(self):
+        from repro.obs.metrics import OVERFLOW_COUNTER
+        registry = MetricsRegistry(max_label_children=1)
+        for name in ("repro_a", "repro_b", "repro_c"):
+            metric = registry.counter(name, "", ("k",))
+            metric.labels(k="x").inc()
+            metric.labels(k="y").inc()       # each overflows once
+        overflow = registry.get(OVERFLOW_COUNTER)
+        # One child per overflowing family, despite the cap of 1.
+        assert len(list(overflow.children())) == 3
+
+    def test_default_cap_is_generous(self):
+        from repro.obs.metrics import DEFAULT_MAX_LABEL_CHILDREN
+        assert DEFAULT_MAX_LABEL_CHILDREN == 1000
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits", "", ("k",))
+        for i in range(50):
+            counter.labels(k=str(i)).inc()
+        assert len(list(counter.children())) == 50

@@ -1,0 +1,249 @@
+"""SLO engine: specs, sliding windows, burn rates, error budgets."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BUDGET_GAUGE,
+    BURN_GAUGE,
+    EVENTS_COUNTER,
+    SloEngine,
+    SloSpec,
+    SloTracker,
+)
+
+
+def _spec(**overrides):
+    base = dict(name="avail", objective=0.99, fast_window=2,
+                slow_window=4)
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestSloSpec:
+    def test_budget_is_one_minus_objective(self):
+        assert _spec(objective=0.99).budget == pytest.approx(0.01)
+        assert _spec(objective=0.999).budget == pytest.approx(0.001)
+
+    @pytest.mark.parametrize("objective", (0.0, 1.0, -0.5, 1.5))
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            _spec(objective=objective)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            _spec(kind="throughput")
+
+    def test_latency_kind_requires_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            _spec(kind="latency")
+        spec = _spec(kind="latency", threshold=0.05)
+        assert spec.threshold == 0.05
+
+    @pytest.mark.parametrize("fast,slow", ((0, 4), (5, 4), (-1, 4)))
+    def test_window_ordering_enforced(self, fast, slow):
+        with pytest.raises(ValueError, match="window"):
+            _spec(fast_window=fast, slow_window=slow)
+
+
+class TestSloTrackerWindows:
+    def test_error_rate_over_sealed_ticks_only(self):
+        tracker = SloTracker(_spec())
+        tracker.record(good=9, bad=1)
+        # The open bucket is not yet part of any window.
+        assert tracker.error_rate(2) == 0.0
+        tracker.roll()
+        assert tracker.error_rate(2) == pytest.approx(0.1)
+
+    def test_sliding_window_evicts_oldest(self):
+        tracker = SloTracker(_spec(slow_window=2, fast_window=1))
+        tracker.record(bad=10)
+        tracker.roll()
+        tracker.record(good=10)
+        tracker.roll()
+        tracker.record(good=10)
+        tracker.roll()                      # the all-bad tick fell out
+        assert tracker.error_rate(2) == 0.0
+        # Lifetime totals still remember it.
+        assert tracker.bad_total == 10
+
+    def test_partial_window_uses_ticks_seen_so_far(self):
+        tracker = SloTracker(_spec(fast_window=5, slow_window=60))
+        tracker.record(bad=1)
+        tracker.roll()
+        # One sealed tick, fully bad: both windows read 100% errors.
+        assert tracker.error_rate(5) == 1.0
+        assert tracker.error_rate(60) == 1.0
+
+    def test_empty_window_is_zero_errors(self):
+        tracker = SloTracker(_spec())
+        tracker.roll()
+        assert tracker.error_rate(4) == 0.0
+        assert tracker.burn_rate(4) == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SloTracker(_spec()).error_rate(0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SloTracker(_spec()).record(good=-1)
+
+
+class TestBurnRate:
+    def test_burn_one_spends_budget_exactly(self):
+        tracker = SloTracker(_spec(objective=0.99))
+        tracker.record(good=99, bad=1)      # 1% errors = the whole budget
+        tracker.roll()
+        assert tracker.burn_rate(1) == pytest.approx(1.0)
+
+    def test_burn_scales_with_error_rate(self):
+        tracker = SloTracker(_spec(objective=0.99))
+        tracker.record(good=96, bad=4)      # 4% errors vs 1% budget
+        tracker.roll()
+        assert tracker.burn_rate(1) == pytest.approx(4.0)
+
+    def test_fire_requires_both_windows(self):
+        # fast=1 slow=3: a single bad tick after a good history pushes
+        # the fast window over 4.0 but not the slow one.
+        tracker = SloTracker(_spec(objective=0.99, fast_window=1,
+                                   slow_window=3))
+        for _ in range(2):
+            tracker.record(good=100)
+            tracker.roll()
+        tracker.record(good=90, bad=10)
+        tracker.roll()
+        assert tracker.fast_burn >= 4.0
+        assert tracker.slow_burn < 4.0
+        assert not tracker.should_fire()
+
+    def test_fire_and_resolve_cycle(self):
+        tracker = SloTracker(_spec(objective=0.99, fast_window=2,
+                                   slow_window=2))
+        for _ in range(2):
+            tracker.record(good=50, bad=50)
+            tracker.roll()
+        assert tracker.should_fire()
+        assert not tracker.should_resolve()
+        for _ in range(2):
+            tracker.record(good=100)
+            tracker.roll()
+        assert tracker.should_resolve()
+
+    def test_resolution_gated_on_fast_window_only(self):
+        # slow=4 still remembers the bad ticks, but two clean fast
+        # ticks resolve promptly.
+        tracker = SloTracker(_spec(objective=0.99, fast_window=2,
+                                   slow_window=4))
+        for _ in range(2):
+            tracker.record(good=20, bad=80)
+            tracker.roll()
+        assert tracker.should_fire()
+        for _ in range(2):
+            tracker.record(good=100)
+            tracker.roll()
+        assert tracker.slow_burn > 1.0       # still elevated
+        assert tracker.should_resolve()      # but fast window drained
+
+
+class TestErrorBudget:
+    def test_no_events_is_zero_spend(self):
+        assert SloTracker(_spec()).error_budget_used() == 0.0
+
+    def test_budget_fraction_over_lifetime(self):
+        tracker = SloTracker(_spec(objective=0.99))
+        tracker.record(good=995, bad=5)     # 0.5% errors vs 1% budget
+        tracker.roll()
+        assert tracker.error_budget_used() == pytest.approx(0.5)
+
+    def test_budget_can_exceed_one(self):
+        tracker = SloTracker(_spec(objective=0.99))
+        tracker.record(good=0, bad=10)
+        tracker.roll()
+        assert tracker.error_budget_used() > 1.0
+
+
+class TestObserve:
+    def test_latency_observation_classifies_against_threshold(self):
+        tracker = SloTracker(_spec(kind="latency", threshold=0.06))
+        assert tracker.observe(0.05) is True
+        assert tracker.observe(0.06) is True      # inclusive bound
+        assert tracker.observe(0.07) is False
+        assert tracker.good_total == 2
+        assert tracker.bad_total == 1
+
+    def test_observe_rejected_for_availability_specs(self):
+        with pytest.raises(ValueError, match="latency"):
+            SloTracker(_spec()).observe(0.01)
+
+
+class TestSloEngine:
+    def test_register_and_lookup(self):
+        engine = SloEngine()
+        engine.register(_spec())
+        assert "avail" in engine
+        assert len(engine) == 1
+        assert engine.names() == ["avail"]
+
+    def test_reregistering_same_spec_is_idempotent(self):
+        engine = SloEngine()
+        first = engine.register(_spec())
+        second = engine.register(_spec())
+        assert first is second
+
+    def test_reregistering_different_spec_raises(self):
+        engine = SloEngine()
+        engine.register(_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            engine.register(_spec(objective=0.999))
+
+    def test_unknown_slo_lists_registered(self):
+        engine = SloEngine()
+        engine.register(_spec())
+        with pytest.raises(KeyError, match="avail"):
+            engine.tracker("nope")
+
+    def test_tick_rolls_all_trackers(self):
+        engine = SloEngine()
+        engine.register(_spec())
+        engine.register(_spec(name="lat", kind="latency", threshold=0.1))
+        engine.record("avail", good=3, bad=1)
+        engine.observe("lat", 0.5)
+        engine.tick(1.0)
+        assert engine.tracker("avail").ticks == 1
+        assert engine.tracker("lat").ticks == 1
+        assert engine.tracker("avail").error_rate(1) == pytest.approx(0.25)
+
+    def test_tick_publishes_gauges_and_counters(self):
+        registry = MetricsRegistry()
+        engine = SloEngine(metrics=registry)
+        engine.register(_spec(objective=0.99))
+        engine.record("avail", good=96, bad=4)
+        engine.tick(1.0)
+        assert registry.value(BURN_GAUGE, slo="avail",
+                              window="fast") == pytest.approx(4.0)
+        assert registry.value(BURN_GAUGE, slo="avail",
+                              window="slow") == pytest.approx(4.0)
+        assert registry.value(BUDGET_GAUGE,
+                              slo="avail") == pytest.approx(4.0)
+        assert registry.value(EVENTS_COUNTER, slo="avail",
+                              result="good") == 96.0
+        assert registry.value(EVENTS_COUNTER, slo="avail",
+                              result="bad") == 4.0
+
+    def test_status_sorted_by_name(self):
+        engine = SloEngine()
+        engine.register(_spec(name="zeta"))
+        engine.register(_spec(name="alpha"))
+        statuses = engine.status()
+        assert [s.name for s in statuses] == ["alpha", "zeta"]
+        row = statuses[0].to_dict()
+        assert set(row) == {"name", "objective", "fast_burn", "slow_burn",
+                            "budget_used", "good_total", "bad_total",
+                            "ticks"}
+
+    def test_trackers_iterates_sorted(self):
+        engine = SloEngine()
+        engine.register(_spec(name="b"))
+        engine.register(_spec(name="a"))
+        assert [t.spec.name for t in engine.trackers()] == ["a", "b"]
