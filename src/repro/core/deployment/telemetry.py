@@ -26,6 +26,14 @@ Determinism notes:
 Switch-level taps can be watched too (:meth:`watch_switch`); those
 publish gauges for operators rather than feeding the optimizer, since
 instance load is attributed per deployment, not per switch.
+
+Fluid-model sources (:meth:`watch_fluid`) are the third tap kind: the
+hybrid population engine (``repro.netsim.fluid``) exposes per-cell
+*rates* directly — the fluid model's state variable is a rate, not a
+packet counter — so those are reported as-is (no delta-over-interval
+conversion) through the same EWMA/report_load path.  This is what lets
+the placement optimizer steer off aggregate load at population scale
+where no per-packet counter exists to difference.
 """
 
 from __future__ import annotations
@@ -38,6 +46,8 @@ from repro.obs.metrics import MetricsRegistry
 RATE_GAUGE = "repro_telemetry_deployment_rate"
 #: Gauge: the measured per-switch receive rate (operator visibility).
 SWITCH_RATE_GAUGE = "repro_telemetry_switch_rate"
+#: Gauge: the fluid-model per-deployment rate (packets/s, direct).
+FLUID_RATE_GAUGE = "repro_telemetry_fluid_rate"
 #: Counter: feed evaluations.
 TICKS_COUNTER = "repro_telemetry_ticks"
 
@@ -60,6 +70,7 @@ class TelemetryFeed:
         self._rates: dict[str, float] = {}
         self._switches: dict[str, object] = {}
         self._switch_marks: dict[str, int] = {}
+        self._fluid: dict[str, tuple[object, int]] = {}
         self._local_metrics = MetricsRegistry()
         self.ticks = 0
 
@@ -70,6 +81,22 @@ class TelemetryFeed:
     def watch_switch(self, name: str, switch) -> None:
         """Track any object with a ``packets_total`` tap under ``name``."""
         self._switches[name] = switch
+
+    def watch_fluid(self, deployment_id: str, engine, cell: int) -> None:
+        """Attribute a hybrid-engine cell's fluid rate to a deployment.
+
+        ``engine`` is anything with a ``cell_rate_pps(cell)`` tap (the
+        :class:`~repro.netsim.fluid.HybridPopulationEngine`).  Unlike
+        datapath and switch taps, the value is already a rate — the
+        fluid model's state — so :meth:`tick` reports it directly
+        (EWMA-smoothed like the counter path when ``alpha`` < 1).
+        """
+        self._fluid[deployment_id] = (engine, cell)
+
+    def unwatch_fluid(self, deployment_id: str) -> None:
+        """Stop attributing a cell's fluid rate (idempotent)."""
+        self._fluid.pop(deployment_id, None)
+        self._rates.pop(deployment_id, None)
 
     # -- the sensor --------------------------------------------------------
 
@@ -93,13 +120,7 @@ class TelemetryFeed:
             total = deployment.datapath.packets_total
             delta = total - self._marks.get(deployment_id, 0)
             self._marks[deployment_id] = total
-            raw = delta / self.interval
-            if self.alpha < 1.0 and deployment_id in self._rates:
-                rate = (self.alpha * raw
-                        + (1.0 - self.alpha) * self._rates[deployment_id])
-            else:
-                rate = raw
-            self._rates[deployment_id] = rate
+            rate = self._smooth(deployment_id, delta / self.interval)
             rates[deployment_id] = rate
             rate_gauge.labels(deployment=deployment_id).set(rate)
             if self.optimizer is not None:
@@ -109,10 +130,38 @@ class TelemetryFeed:
         for stale in set(self._marks) - live:
             del self._marks[stale]
             self._rates.pop(stale, None)
+        self._sample_fluid(registry, now, rates)
         self._sample_switches(registry)
         registry.counter(
             TICKS_COUNTER, "Telemetry feed evaluations").inc()
         return rates
+
+    def _smooth(self, deployment_id: str, raw: float) -> float:
+        """EWMA fold of one raw sample into the per-deployment rate."""
+        if self.alpha < 1.0 and deployment_id in self._rates:
+            rate = (self.alpha * raw
+                    + (1.0 - self.alpha) * self._rates[deployment_id])
+        else:
+            rate = raw
+        self._rates[deployment_id] = rate
+        return rate
+
+    def _sample_fluid(self, registry: MetricsRegistry, now: float,
+                      rates: dict[str, float]) -> None:
+        if not self._fluid:
+            return
+        gauge = registry.gauge(
+            FLUID_RATE_GAUGE,
+            "Fluid-model per-deployment rate (packets/s)",
+            ("deployment",))
+        for deployment_id, (engine, cell) in sorted(self._fluid.items()):
+            # Already a rate (the fluid model's state variable), not a
+            # counter: no delta-over-interval conversion.
+            rate = self._smooth(deployment_id, engine.cell_rate_pps(cell))
+            rates[deployment_id] = rate
+            gauge.labels(deployment=deployment_id).set(rate)
+            if self.optimizer is not None:
+                self.optimizer.report_load(deployment_id, rate, now)
 
     def _sample_switches(self, registry: MetricsRegistry) -> None:
         if not self._switches:

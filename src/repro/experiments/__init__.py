@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401 (re-exported modules)
     exp20_selfhealing,
     exp21_megaflow,
     exp22_closed_loop,
+    exp23_population,
     fig1a,
     fig1b,
     fig1c,
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS = {
     "E20": exp20_selfhealing.run,
     "E21": exp21_megaflow.run,
     "E22": exp22_closed_loop.run,
+    "E23": exp23_population.run,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -8,10 +8,21 @@ Public surface:
 * :class:`PhysicalTopology` and builders — annotated topologies.
 * :mod:`repro.netsim.tcp` — rounds-based TCP transfer models.
 * :mod:`repro.netsim.flows` — page-load and ABR-video models.
+* :mod:`repro.netsim.fluid` — hybrid fluid/packet population engine
+  over :class:`SoaTable` vectorized flow state.
 """
 
 from repro.netsim.batching import TickBatcher
 from repro.netsim.events import Event, EventPriority
+from repro.netsim.fluid import (
+    MODE_FLUID,
+    MODE_PACKET,
+    HybridFlow,
+    HybridPopulationEngine,
+    PolicyLedger,
+    max_min_fair_share,
+    waterfill,
+)
 from repro.netsim.link import Link, link_rtt
 from repro.netsim.node import Host, Node, RoutingNode
 from repro.netsim.packet import Packet
@@ -24,6 +35,7 @@ from repro.netsim.randomness import (
     shard_seed,
 )
 from repro.netsim.simulator import Simulator
+from repro.netsim.soa import SoaTable
 from repro.netsim.tcp import (
     PathCharacteristics,
     TcpParams,
@@ -48,16 +60,22 @@ __all__ = [
     "Event",
     "EventPriority",
     "Host",
+    "HybridFlow",
+    "HybridPopulationEngine",
     "LatencySummary",
     "Link",
+    "MODE_FLUID",
+    "MODE_PACKET",
     "Node",
     "Packet",
     "PathCharacteristics",
     "PhysicalTopology",
+    "PolicyLedger",
     "RandomStreams",
     "RateMeter",
     "RoutingNode",
     "Simulator",
+    "SoaTable",
     "TcpParams",
     "TickBatcher",
     "TokenBucket",
@@ -73,6 +91,8 @@ __all__ = [
     "shard_seed",
     "link_rtt",
     "mathis_throughput_bps",
+    "max_min_fair_share",
     "simulate_split_transfer",
     "simulate_transfer",
+    "waterfill",
 ]

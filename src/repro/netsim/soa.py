@@ -1,0 +1,159 @@
+"""Struct-of-array (SoA) state tables for vectorized simulation.
+
+The hybrid fluid/packet engine (:mod:`repro.netsim.fluid`) tracks tens
+of thousands of concurrent flows per tick.  One Python object per flow
+— the array-of-struct layout the rest of ``netsim`` uses for packets —
+would put every per-tick update behind attribute lookups and object
+churn.  A :class:`SoaTable` instead stores each field as one parallel
+column (a ``numpy`` array for numeric fields, a plain list for object
+fields), so per-tick math (rate recomputation, residual drain,
+completion detection) runs as whole-column vector operations.
+
+Rows are addressed by *slot*: :meth:`~SoaTable.allocate` hands out the
+lowest-overhead free slot (LIFO free list, so hot cache lines are
+reused) and :meth:`~SoaTable.release` returns it.  Because slots are
+recycled, every release bumps the slot's **generation**; asynchronous
+consumers (e.g. an in-flight packet event firing after its flow was
+torn down) capture ``(slot, generation)`` and check
+:meth:`~SoaTable.is_current` before touching columns.
+
+Columns grow by doubling; callers must re-read column references via
+:meth:`~SoaTable.col` after any ``allocate`` that may have grown the
+table (the engine reads columns once per tick, which is safe because
+the population only changes at tick boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Numeric column dtypes accepted by :class:`SoaTable`.
+_NUMERIC_DTYPES = {"f8": np.float64, "i8": np.int64, "b1": np.bool_}
+
+#: Marker for a Python-object column (stored as a list, not an array).
+OBJECT = "obj"
+
+
+class SoaTable:
+    """Parallel columns + a free list: vectorized row storage.
+
+    >>> t = SoaTable({"rate": "f8", "owner": "i8", "spec": "obj"})
+    >>> s = t.allocate(rate=2.0, owner=7, spec=("flow", 0))
+    >>> t.col("rate")[s]
+    2.0
+    >>> t.release(s)
+    >>> len(t)
+    0
+    """
+
+    def __init__(self, columns: dict[str, str], capacity: int = 256) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self._capacity = max(8, int(capacity))
+        self._numeric: dict[str, np.ndarray] = {}
+        self._objects: dict[str, list] = {}
+        for name, dtype in columns.items():
+            if dtype == OBJECT:
+                self._objects[name] = [None] * self._capacity
+            elif dtype in _NUMERIC_DTYPES:
+                self._numeric[name] = np.zeros(
+                    self._capacity, dtype=_NUMERIC_DTYPES[dtype])
+            else:
+                raise ValueError(
+                    f"unknown dtype {dtype!r} for column {name!r}; "
+                    f"use one of {sorted(_NUMERIC_DTYPES)} or {OBJECT!r}")
+        self._alive = np.zeros(self._capacity, dtype=np.bool_)
+        self._generation = np.zeros(self._capacity, dtype=np.int64)
+        self._free: list[int] = list(range(self._capacity - 1, -1, -1))
+        self._live = 0
+        self.high_water = 0
+
+    # -- shape -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _grow(self) -> None:
+        old = self._capacity
+        new = old * 2
+        for name, column in self._numeric.items():
+            grown = np.zeros(new, dtype=column.dtype)
+            grown[:old] = column
+            self._numeric[name] = grown
+        for name, column in self._objects.items():
+            column.extend([None] * old)
+        alive = np.zeros(new, dtype=np.bool_)
+        alive[:old] = self._alive
+        self._alive = alive
+        generation = np.zeros(new, dtype=np.int64)
+        generation[:old] = self._generation
+        self._generation = generation
+        self._free.extend(range(new - 1, old - 1, -1))
+        self._capacity = new
+
+    # -- row lifecycle ---------------------------------------------------
+
+    def allocate(self, **values) -> int:
+        """Claim a slot and initialise the named columns; returns the slot."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._alive[slot] = True
+        self._live += 1
+        self.high_water = max(self.high_water, self._live)
+        for name, value in values.items():
+            if name in self._numeric:
+                self._numeric[name][slot] = value
+            elif name in self._objects:
+                self._objects[name][slot] = value
+            else:
+                raise KeyError(f"no column {name!r}")
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (its generation advances)."""
+        if not self._alive[slot]:
+            raise KeyError(f"slot {slot} is not live")
+        self._alive[slot] = False
+        self._generation[slot] += 1
+        self._live -= 1
+        # Drop the object references so released rows don't pin payloads.
+        for column in self._objects.values():
+            column[slot] = None
+        self._free.append(slot)
+
+    def generation(self, slot: int) -> int:
+        """The slot's current generation (captured by async consumers)."""
+        return int(self._generation[slot])
+
+    def is_current(self, slot: int, generation: int) -> bool:
+        """True iff the slot is live and still on ``generation``."""
+        return bool(self._alive[slot]) and self._generation[slot] == generation
+
+    # -- column access ---------------------------------------------------
+
+    def col(self, name: str):
+        """The full-capacity column; mask with :meth:`live_slots`.
+
+        Numeric columns are ``numpy`` arrays (mutate in place); object
+        columns are plain lists.  References are invalidated by growth,
+        so re-read after allocations.
+        """
+        if name in self._numeric:
+            return self._numeric[name]
+        if name in self._objects:
+            return self._objects[name]
+        raise KeyError(f"no column {name!r}")
+
+    def live_slots(self) -> np.ndarray:
+        """Live slot indices in ascending order (deterministic)."""
+        return np.nonzero(self._alive)[0]
+
+    @property
+    def alive(self) -> np.ndarray:
+        """The liveness mask (read-only by convention)."""
+        return self._alive

@@ -63,6 +63,9 @@ ActionClosure = Callable[[Packet], None]
 #: Default entry bound; far above any experiment's concurrent flow count.
 DEFAULT_CAPACITY = 65536
 
+#: Megaflow lookups between mask-list re-sorts (see MegaflowCache).
+MASK_RESORT_INTERVAL = 512
+
 
 @dataclasses.dataclass
 class CacheEntry:
@@ -241,10 +244,21 @@ class MegaflowCache:
     — the winner plus the minimal mask whose bits pin the whole
     accept/reject path of the linear scan — so a hit under *any*
     stored mask is guaranteed to yield the same winner the full scan
-    would.  Lookup probes each distinct mask in insertion order (the
+    would.  Lookup probes each distinct mask of the mask list (the
     OVS datapath's mask list); the number of distinct masks tracks the
     number of distinct field-combinations the rule table examines,
     which is small in practice and reported as a gauge.
+
+    The mask list is kept sorted by *observed hit frequency*: every
+    ``resort_interval`` lookups it is re-sorted by descending
+    per-mask hit count (mask insertion order breaks ties, so the order
+    is deterministic).  A lookup walks masks until one matches, so the
+    expected probe count is minimized when the hottest masks sit at
+    the front — the same trick the OVS kernel datapath plays with its
+    per-CPU mask cache.  Because all matching entries agree on the
+    winner (the derivation invariant above), probe order is
+    unobservable in results; the three-way equivalence property in
+    the megaflow test suite pins that down.
 
     The same two fences as :class:`FlowCache` apply — table-generation
     (lazy) and epoch token (migration cutovers) — so a megaflow can
@@ -257,13 +271,21 @@ class MegaflowCache:
         name: str = "megaflow",
         capacity: int = DEFAULT_CAPACITY,
         tracer: Tracer | None = None,
+        resort_interval: int = MASK_RESORT_INTERVAL,
     ) -> None:
         self.name = name
         self.capacity = max(1, capacity)
         self.tracer = tracer
         self.enabled = True
-        # Lookup stores, one dict per distinct mask, probed in order.
+        self.resort_interval = max(1, resort_interval)
+        # Lookup stores, one dict per distinct mask, probed in
+        # _mask_order (descending hit count, periodically re-sorted).
         self._by_mask: dict[MatchMask, dict[tuple, CacheEntry]] = {}
+        self._mask_order: list[MatchMask] = []
+        self._mask_hits: dict[MatchMask, int] = {}
+        self._mask_seq: dict[MatchMask, int] = {}   # insertion tiebreak
+        self._next_mask_seq = 0
+        self._lookups_since_resort = 0
         # Recency order over (mask, key) pairs; value is unused.
         self._lru: "collections.OrderedDict[tuple, None]" = (
             collections.OrderedDict()
@@ -276,6 +298,7 @@ class MegaflowCache:
         self.flushes = 0
         self.insertions = 0
         self.evictions = 0
+        self.resorts = 0              # re-sorts that changed the order
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -284,6 +307,11 @@ class MegaflowCache:
     def mask_count(self) -> int:
         """Distinct wildcard masks currently cached."""
         return len(self._by_mask)
+
+    @property
+    def mask_order(self) -> tuple[MatchMask, ...]:
+        """Current probe order (hottest first after a re-sort)."""
+        return tuple(self._mask_order)
 
     # -- invalidation fences ------------------------------------------------
 
@@ -307,6 +335,10 @@ class MegaflowCache:
         dropped = len(self._lru)
         self._by_mask.clear()
         self._lru.clear()
+        self._mask_order.clear()
+        self._mask_hits.clear()
+        self._mask_seq.clear()
+        self._lookups_since_resort = 0
         if dropped:
             self.invalidations += dropped
         self.flushes += 1
@@ -323,21 +355,47 @@ class MegaflowCache:
             now: float = 0.0) -> CacheEntry | None:
         """The first megaflow entry matching ``packet``, or None.
 
-        Probes every distinct mask; by the derivation invariant all
-        matching entries agree on the winner, so the first suffices.
+        Probes the mask list hottest-first; by the derivation
+        invariant all matching entries agree on the winner, so the
+        first suffices regardless of order.
         """
         if not self.enabled:
             return None
         self.ensure_generation(generation, now=now)
-        for mask, store in self._by_mask.items():
+        self._lookups_since_resort += 1
+        if self._lookups_since_resort >= self.resort_interval:
+            self._resort_masks(now=now)
+        for mask in self._mask_order:
             key = mask.key_for(packet)
-            entry = store.get(key)
+            entry = self._by_mask[mask].get(key)
             if entry is not None:
+                self._mask_hits[mask] += 1
                 self._lru.move_to_end((mask, key))
                 self.hits += 1
                 return entry
         self.misses += 1
         return None
+
+    def _resort_masks(self, now: float = 0.0) -> None:
+        """Reorder the mask list by descending observed hit count.
+
+        Ties keep mask insertion order, so the result is a pure
+        function of the lookup history — deterministic across runs.
+        Counted (and traced) only when the order actually changes.
+        """
+        self._lookups_since_resort = 0
+        order = sorted(
+            self._mask_order,
+            key=lambda m: (-self._mask_hits[m], self._mask_seq[m]),
+        )
+        if order != self._mask_order:
+            self._mask_order = order
+            self.resorts += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "megaflow", self.name, event="mask_resort",
+                    masks=len(order),
+                )
 
     def put(
         self,
@@ -356,13 +414,30 @@ class MegaflowCache:
                 if store is not None:
                     store.pop(old_key, None)
                     if not store:
-                        del self._by_mask[old_mask]
+                        self._drop_mask(old_mask)
                 self.evictions += 1
             key = mask.key_for(packet)
-            self._by_mask.setdefault(mask, {})[key] = entry
+            store = self._by_mask.get(mask)
+            if store is None:
+                # New mask enters at the tail of the probe order with
+                # a zero hit count; re-sorts promote it if it turns
+                # out hot.
+                store = self._by_mask[mask] = {}
+                self._mask_order.append(mask)
+                self._mask_hits[mask] = 0
+                self._mask_seq[mask] = self._next_mask_seq
+                self._next_mask_seq += 1
+            store[key] = entry
             self._lru[(mask, key)] = None
             self.insertions += 1
         return entry
+
+    def _drop_mask(self, mask: MatchMask) -> None:
+        """Remove a mask whose last entry was evicted."""
+        del self._by_mask[mask]
+        self._mask_order.remove(mask)
+        del self._mask_hits[mask]
+        del self._mask_seq[mask]
 
     # -- observability ------------------------------------------------------
 
@@ -374,6 +449,7 @@ class MegaflowCache:
             "flushes": self.flushes,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "mask_resorts": self.resorts,
             "entries": len(self._lru),
             "masks": len(self._by_mask),
         }

@@ -7,6 +7,7 @@ import pytest
 from repro.core.deployment import TelemetryFeed
 from repro.core.deployment.manager import DeploymentState
 from repro.core.deployment.telemetry import (
+    FLUID_RATE_GAUGE,
     RATE_GAUGE,
     SWITCH_RATE_GAUGE,
     TICKS_COUNTER,
@@ -145,6 +146,90 @@ class TestMetricsPublication:
         feed.tick(2.0)
         assert feed._local_metrics.value(
             SWITCH_RATE_GAUGE, switch="ingress") == 3.0
+
+
+class _FakeFluidEngine:
+    """Anything with a cell_rate_pps tap qualifies as a fluid source."""
+
+    def __init__(self, rates):
+        self.rates = dict(rates)
+
+    def cell_rate_pps(self, cell):
+        return self.rates[cell]
+
+
+class TestFluidTaps:
+    def test_fluid_rates_reported_directly(self):
+        manager, optimizer, feed = _feed()
+        engine = _FakeFluidEngine({0: 1500.0, 1: 250.0})
+        feed.watch_fluid("pvn-cell-000", engine, 0)
+        feed.watch_fluid("pvn-cell-001", engine, 1)
+        rates = feed.tick(4.0)
+        # Direct rates, no delta-over-interval conversion: the fluid
+        # model's state variable is already packets/second.
+        assert rates["pvn-cell-000"] == 1500.0
+        assert rates["pvn-cell-001"] == 250.0
+        assert ("pvn-cell-000", 1500.0, 4.0) in optimizer.reports
+        assert ("pvn-cell-001", 250.0, 4.0) in optimizer.reports
+        assert feed._local_metrics.value(
+            FLUID_RATE_GAUGE, deployment="pvn-cell-000") == 1500.0
+
+    def test_fluid_rate_not_divided_by_interval(self):
+        manager, optimizer, feed = _feed(interval=0.5)
+        feed.watch_fluid("cell", _FakeFluidEngine({3: 100.0}), 3)
+        # A counter tap at interval 0.5 would double; a rate must not.
+        assert feed.tick(1.0)["cell"] == 100.0
+
+    def test_fluid_rates_ewma_smoothed_like_counters(self):
+        manager, _, feed = _feed(alpha=0.5)
+        engine = _FakeFluidEngine({0: 10.0})
+        feed.watch_fluid("cell", engine, 0)
+        assert feed.tick(1.0)["cell"] == 10.0     # first sample: raw
+        engine.rates[0] = 30.0
+        assert feed.tick(2.0)["cell"] == 20.0     # 0.5*30 + 0.5*10
+
+    def test_unwatch_fluid_stops_reports_and_is_idempotent(self):
+        manager, optimizer, feed = _feed()
+        feed.watch_fluid("cell", _FakeFluidEngine({0: 5.0}), 0)
+        feed.tick(1.0)
+        feed.unwatch_fluid("cell")
+        feed.unwatch_fluid("cell")
+        rates = feed.tick(2.0)
+        assert "cell" not in rates
+        assert feed.rate("cell") == 0.0
+
+    def test_fluid_and_counter_taps_coexist(self):
+        manager, optimizer, feed = _feed()
+        manager.deployments["u0/pvn1"].datapath.packets_total = 7
+        feed.watch_fluid("pvn-cell-000", _FakeFluidEngine({0: 42.0}), 0)
+        rates = feed.tick(1.0)
+        assert rates["u0/pvn1"] == 7.0
+        assert rates["pvn-cell-000"] == 42.0
+        reported = {r[0] for r in optimizer.reports}
+        assert {"u0/pvn1", "u1/pvn2", "pvn-cell-000"} <= reported
+
+    def test_real_engine_feeds_report_load(self):
+        """End to end: a HybridPopulationEngine cell drives the
+        optimizer through watch_fluid (ROADMAP item 1's closing
+        requirement)."""
+        from repro.experiments.exp23_population import (
+            build_population, _spec)
+
+        engine = build_population(_spec(200, 4.0), seed=3,
+                                  mode="fluid")
+        engine.run(4.0)
+        _, optimizer, feed = _feed()
+        for cell in range(engine.n_cells):
+            feed.watch_fluid(f"cell-{cell:03d}", engine, cell)
+        rates = feed.tick(4.0)
+        fluid_ids = [i for i in rates if i.startswith("cell-")]
+        assert len(fluid_ids) == engine.n_cells
+        reported = {r[0]: r[1] for r in optimizer.reports}
+        for deployment_id in fluid_ids:
+            assert reported[deployment_id] == rates[deployment_id]
+        # The population keeps flows live through the horizon, so at
+        # least one cell carries nonzero fluid load.
+        assert sum(rates[i] for i in fluid_ids) > 0.0
 
 
 class TestRealDatapathTaps:

@@ -1,0 +1,134 @@
+"""SoaTable: slot lifecycle, generations, growth, column access."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.soa import OBJECT, SoaTable
+
+
+def make_table(capacity=8):
+    return SoaTable(
+        {"rate": "f8", "owner": "i8", "flag": "b1", "spec": OBJECT},
+        capacity=capacity,
+    )
+
+
+class TestLifecycle:
+    def test_allocate_initialises_named_columns(self):
+        table = make_table()
+        slot = table.allocate(rate=2.5, owner=7, flag=True,
+                              spec=("flow", 0))
+        assert table.col("rate")[slot] == 2.5
+        assert table.col("owner")[slot] == 7
+        assert table.col("flag")[slot]
+        assert table.col("spec")[slot] == ("flow", 0)
+        assert len(table) == 1
+
+    def test_release_frees_and_clears_object_refs(self):
+        table = make_table()
+        payload = object()
+        slot = table.allocate(spec=payload)
+        table.release(slot)
+        assert len(table) == 0
+        # Object columns must not pin released payloads.
+        assert table.col("spec")[slot] is None
+
+    def test_release_of_dead_slot_raises(self):
+        table = make_table()
+        slot = table.allocate(rate=1.0)
+        table.release(slot)
+        with pytest.raises(KeyError):
+            table.release(slot)
+
+    def test_lifo_reuse_of_freed_slots(self):
+        table = make_table()
+        first = table.allocate(rate=1.0)
+        table.release(first)
+        assert table.allocate(rate=2.0) == first
+
+    def test_unknown_column_raises(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.allocate(nope=1)
+        with pytest.raises(KeyError):
+            table.col("nope")
+
+    def test_high_water_tracks_peak_live_count(self):
+        table = make_table()
+        slots = [table.allocate(rate=float(i)) for i in range(5)]
+        for slot in slots:
+            table.release(slot)
+        assert len(table) == 0
+        assert table.high_water == 5
+
+
+class TestGenerations:
+    def test_release_bumps_generation(self):
+        table = make_table()
+        slot = table.allocate(rate=1.0)
+        generation = table.generation(slot)
+        assert table.is_current(slot, generation)
+        table.release(slot)
+        assert not table.is_current(slot, generation)
+        # The recycled slot carries a newer generation: a stale
+        # (slot, generation) capture can never alias the new row.
+        again = table.allocate(rate=2.0)
+        assert again == slot
+        assert table.generation(slot) == generation + 1
+        assert not table.is_current(slot, generation)
+        assert table.is_current(slot, table.generation(slot))
+
+
+class TestGrowth:
+    def test_growth_preserves_contents(self):
+        table = make_table(capacity=8)
+        slots = [table.allocate(rate=float(i), owner=i, spec=i)
+                 for i in range(50)]
+        assert table.capacity >= 50
+        for i, slot in enumerate(slots):
+            assert table.col("rate")[slot] == float(i)
+            assert table.col("owner")[slot] == i
+            assert table.col("spec")[slot] == i
+
+    def test_column_references_invalidated_by_growth(self):
+        table = make_table(capacity=8)
+        stale = table.col("rate")
+        for i in range(20):
+            table.allocate(rate=1.0)
+        # Documented contract: re-read col() after growth.
+        assert len(table.col("rate")) > len(stale)
+
+
+class TestColumns:
+    def test_live_slots_ascending(self):
+        table = make_table()
+        slots = [table.allocate(rate=1.0) for _ in range(6)]
+        table.release(slots[2])
+        table.release(slots[4])
+        live = table.live_slots()
+        assert list(live) == sorted(set(slots) - {slots[2], slots[4]})
+
+    def test_vectorized_update_over_live_mask(self):
+        table = make_table()
+        for i in range(4):
+            table.allocate(rate=float(i + 1))
+        rate = table.col("rate")
+        rate[table.alive] *= 2.0
+        assert list(rate[table.live_slots()]) == [2.0, 4.0, 6.0, 8.0]
+
+    def test_numeric_dtypes(self):
+        table = make_table()
+        assert table.col("rate").dtype == np.float64
+        assert table.col("owner").dtype == np.int64
+        assert table.col("flag").dtype == np.bool_
+        assert isinstance(table.col("spec"), list)
+
+
+class TestValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            SoaTable({})
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            SoaTable({"x": "f4"})

@@ -24,13 +24,17 @@ from repro.netsim import Host, Link, Packet, Simulator
 from repro.sdn import Controller, Drop, Match, Output, SdnSwitch, ToChain
 from repro.sdn.flowcache import MegaflowCache
 from repro.sdn.flowtable import FlowRule
-from repro.sdn.match import EMPTY_MASK
+from repro.sdn.match import EMPTY_MASK, MatchMask
 
 
 def make_switch(micro: bool, mega: bool) -> SdnSwitch:
     switch = SdnSwitch(Simulator(), "sw")
     switch.flow_cache.enabled = micro
     switch.megaflow_cache.enabled = mega
+    # Re-sort the mask list on every lookup so the equivalence
+    # property exercises hit-frequency reordering mid-sequence: probe
+    # order must never change observable behavior.
+    switch.megaflow_cache.resort_interval = 1
     return switch
 
 
@@ -327,6 +331,93 @@ class TestMegaflowLru:
             _, mask = _table_for(owner).classify(packet)
             cache.put(packet, mask, None, lambda p: None, generation=0)
         assert cache.mask_count == 1
+
+
+# -- mask-list hit-frequency ordering -----------------------------------------
+
+
+M_OWNER = MatchMask(owner=True)
+M_PORT = MatchMask(dst_port=True)
+
+
+def _seed_two_masks(cache):
+    """One entry under each of two distinct masks (owner first)."""
+    cache.put(flow_pkt(owner="a"), M_OWNER, None, lambda p: None,
+              generation=0)
+    cache.put(flow_pkt(owner="b", dst_port=80), M_PORT, None,
+              lambda p: None, generation=0)
+
+
+class TestMaskOrdering:
+    def test_new_masks_append_in_insertion_order(self):
+        cache = MegaflowCache(resort_interval=1000)
+        _seed_two_masks(cache)
+        assert cache.mask_order == (M_OWNER, M_PORT)
+        assert cache.resorts == 0
+
+    def test_hot_mask_promotes_to_front(self):
+        cache = MegaflowCache(resort_interval=4)
+        _seed_two_masks(cache)
+        # Hammer the tail mask: its hit count dominates, so the next
+        # re-sort must move it to the head of the probe order.
+        for _ in range(8):
+            hit = cache.get(flow_pkt(owner="zzz", dst_port=80),
+                            generation=0)
+            assert hit is not None
+        assert cache.mask_order == (M_PORT, M_OWNER)
+        assert cache.resorts >= 1
+        assert cache.counters()["mask_resorts"] == cache.resorts
+
+    def test_resort_is_stable_under_ties(self):
+        cache = MegaflowCache(resort_interval=2)
+        _seed_two_masks(cache)
+        # Equal hit counts: insertion order is the tiebreak, so the
+        # order never changes and no resort is counted.
+        for _ in range(4):
+            assert cache.get(flow_pkt(owner="a"),
+                             generation=0) is not None
+            assert cache.get(flow_pkt(owner="q", dst_port=80),
+                             generation=0) is not None
+        assert cache.mask_order == (M_OWNER, M_PORT)
+        assert cache.resorts == 0
+
+    def test_reordering_never_changes_the_served_entry(self):
+        # Entries under distinct masks with disjoint masked keys: the
+        # same packets must map to the same entries before and after a
+        # promotion (the derivation invariant makes order-dependence a
+        # correctness bug, not a tuning knob).
+        cache = MegaflowCache(resort_interval=3)
+        _seed_two_masks(cache)
+        before = {
+            "owner": cache.get(flow_pkt(owner="a"), generation=0),
+            "port": cache.get(flow_pkt(owner="x", dst_port=80),
+                              generation=0),
+        }
+        for _ in range(9):
+            cache.get(flow_pkt(owner="y", dst_port=80), generation=0)
+        assert cache.mask_order[0] == M_PORT
+        assert cache.get(flow_pkt(owner="a"),
+                         generation=0) is before["owner"]
+        assert cache.get(flow_pkt(owner="x", dst_port=80),
+                         generation=0) is before["port"]
+
+    def test_eviction_of_last_entry_drops_mask_from_order(self):
+        cache = MegaflowCache(capacity=1, resort_interval=1000)
+        _seed_two_masks(cache)          # capacity 1: first put evicted
+        assert cache.mask_order == (M_PORT,)
+        assert cache.mask_count == 1
+
+    def test_flush_clears_order_and_hit_state(self):
+        cache = MegaflowCache(resort_interval=4)
+        _seed_two_masks(cache)
+        for _ in range(4):
+            cache.get(flow_pkt(owner="z", dst_port=80), generation=0)
+        cache.flush("test")
+        assert cache.mask_order == ()
+        assert cache.mask_count == 0
+        # Re-populated masks start cold, in fresh insertion order.
+        _seed_two_masks(cache)
+        assert cache.mask_order == (M_OWNER, M_PORT)
 
 
 def _table_for(owner):
